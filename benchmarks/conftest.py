@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite (pytest-benchmark).
+
+Benchmarks regenerate the paper's tables and figures on scaled-down instances
+and assert the *qualitative* shape (who wins, orderings, trends), not absolute
+numbers.  Run them with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_fattree
+from repro.routing import RoutingMatrix, enumerate_candidate_paths
+
+
+@pytest.fixture(scope="session")
+def fattree4():
+    return build_fattree(4)
+
+
+@pytest.fixture(scope="session")
+def fattree6():
+    return build_fattree(6)
+
+
+@pytest.fixture(scope="session")
+def fattree6_routing(fattree6):
+    paths = enumerate_candidate_paths(fattree6, ordered=False)
+    return RoutingMatrix(fattree6, paths)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(777)

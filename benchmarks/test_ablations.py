@@ -1,0 +1,124 @@
+"""Ablation benches for the design choices called out in DESIGN.md.
+
+* PMC: lazy (CELF) score updates vs full re-scoring; decomposition on/off;
+  symmetry on/off -- all must keep the constructed matrix valid while the
+  optimised variants stay competitive on time.
+* PLL: the hit-ratio threshold (0.6 default) -- too strict misses blackholes,
+  too lax admits false positives; 0.6 should sit at or near the best accuracy.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import PMCOptions, check_coverage, check_identifiability, construct_probe_matrix, pmc_for_topology
+from repro.localization import (
+    PLLConfig,
+    PLLLocalizer,
+    aggregate_metrics,
+    evaluate_localization,
+    preprocess_observations,
+)
+from repro.simulation import FailureGenerator, LossMode, ProbeConfig, ProbeSimulator
+from repro.topology import build_fattree
+
+
+class TestPMCAblations:
+    def test_lazy_update_not_slower_than_eager(self, benchmark, fattree6_routing):
+        def run_both():
+            timings = {}
+            for label, lazy in (("eager", False), ("lazy", True)):
+                options = PMCOptions(alpha=2, beta=1, use_decomposition=True, use_lazy_update=lazy)
+                start = time.perf_counter()
+                result = construct_probe_matrix(fattree6_routing, options)
+                timings[label] = time.perf_counter() - start
+                assert check_coverage(result.probe_matrix, 2)
+            return timings
+
+        timings = benchmark.pedantic(run_both, rounds=2, iterations=1)
+        assert timings["lazy"] <= timings["eager"]
+
+    def test_decomposition_benefits_fattree(self, benchmark, fattree6_routing):
+        def run_both():
+            timings = {}
+            for label, decompose in (("flat", False), ("decomposed", True)):
+                options = PMCOptions(
+                    alpha=2, beta=1, use_decomposition=decompose, use_lazy_update=False
+                )
+                start = time.perf_counter()
+                construct_probe_matrix(fattree6_routing, options)
+                timings[label] = time.perf_counter() - start
+            return timings
+
+        timings = benchmark.pedantic(run_both, rounds=2, iterations=1)
+        # Fattree splits into k/2 independent subproblems, so decomposition
+        # must not hurt and normally helps the un-optimised greedy a lot.
+        assert timings["decomposed"] <= timings["flat"] * 1.1
+
+    def test_symmetry_keeps_selection_size(self, benchmark, fattree6):
+        def run_both():
+            sizes = {}
+            for label, symmetry in (("plain", False), ("symmetry", True)):
+                result = pmc_for_topology(fattree6, alpha=2, beta=1, use_symmetry=symmetry)
+                assert check_coverage(result.probe_matrix, 2)
+                assert check_identifiability(result.probe_matrix, 1)
+                sizes[label] = result.num_paths
+            return sizes
+
+        sizes = benchmark.pedantic(run_both, rounds=1, iterations=1)
+        # §4.4: the number of selected paths with symmetry reduction is very
+        # similar to that without.
+        assert sizes["symmetry"] <= 1.3 * sizes["plain"]
+
+
+class TestPLLThresholdAblation:
+    @pytest.fixture(scope="class")
+    def scenario_bundle(self):
+        topology = build_fattree(4)
+        probe_matrix = pmc_for_topology(topology, alpha=3, beta=1).probe_matrix
+        rng = np.random.default_rng(31)
+        generator = FailureGenerator(topology, rng)
+        bundles = []
+        for _ in range(15):
+            scenario = generator.generate_single()
+            simulator = ProbeSimulator(topology, scenario, rng)
+            observations = simulator.observe_probe_matrix(
+                probe_matrix, ProbeConfig(probes_per_path=120)
+            )
+            cleaned = preprocess_observations(probe_matrix, observations)
+            bundles.append((scenario, cleaned.observations))
+        return topology, probe_matrix, bundles
+
+    def test_default_threshold_is_near_optimal(self, benchmark, scenario_bundle):
+        topology, probe_matrix, bundles = scenario_bundle
+
+        def sweep():
+            results = {}
+            for threshold in (0.2, 0.6, 0.95):
+                metrics = []
+                localizer = PLLLocalizer(PLLConfig(hit_ratio_threshold=threshold))
+                for scenario, observations in bundles:
+                    verdict = localizer.localize(probe_matrix, observations)
+                    metrics.append(
+                        evaluate_localization(
+                            scenario.bad_link_ids, verdict.suspected_links, probe_matrix.link_ids
+                        )
+                    )
+                aggregated = aggregate_metrics(metrics)
+                results[threshold] = (
+                    aggregated["accuracy"],
+                    aggregated["false_positive_ratio"],
+                )
+            return results
+
+        results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+        default_accuracy, default_fp = results[0.6]
+        best_accuracy = max(acc for acc, _ in results.values())
+        # The default threshold sits close to the best accuracy of the sweep
+        # while keeping false positives low; the paper picks 0.6 on the same
+        # grounds (the exact optimum depends on the failure mix).
+        assert default_accuracy >= best_accuracy - 0.1
+        assert default_fp <= 0.1

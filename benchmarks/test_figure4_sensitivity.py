@@ -1,0 +1,58 @@
+"""Figure 4 -- probing-frequency sensitivity (accuracy, overhead, RTT, jitter).
+
+The reproduced claims on the Fattree(4) testbed topology:
+
+* (a) accuracy is already high at ~10 probes/second and does not degrade with
+  more probing; false positives stay low,
+* (b) pinger bandwidth/CPU grow linearly with the frequency, with ~100-200
+  Kbps and well under 2% CPU at the paper's 10-15 pps operating point,
+* (c)/(d) workload RTT and jitter barely move across the whole sweep.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure4
+
+
+@pytest.fixture(scope="module")
+def figure4_result():
+    return figure4.run(radix=4, frequencies=(2, 10, 30), trials_per_frequency=8, seed=44)
+
+
+class TestFigure4Harness:
+    def test_benchmark_small_run(self, benchmark):
+        table = benchmark.pedantic(
+            figure4.run,
+            kwargs=dict(radix=4, frequencies=(5, 20), trials_per_frequency=4),
+            rounds=1,
+            iterations=1,
+        )
+        assert len(table.rows) == 2
+
+    def test_accuracy_panel(self, benchmark, figure4_result):
+        rows = benchmark(lambda: {row["probes_per_second"]: row for row in figure4_result.rows})
+        assert rows[10]["accuracy_pct"] >= 85.0
+        assert rows[30]["accuracy_pct"] >= rows[2]["accuracy_pct"] - 5.0
+        assert all(row["false_positive_pct"] <= 10.0 for row in rows.values())
+
+    def test_overhead_panel(self, benchmark, figure4_result):
+        rows = benchmark(lambda: sorted(figure4_result.rows, key=lambda r: r["probes_per_second"]))
+        bandwidths = [row["bandwidth_kbps"] for row in rows]
+        cpus = [row["cpu_pct"] for row in rows]
+        assert bandwidths == sorted(bandwidths)
+        assert cpus == sorted(cpus)
+        ten_pps = next(row for row in rows if row["probes_per_second"] == 10)
+        assert 50.0 <= ten_pps["bandwidth_kbps"] <= 300.0
+        assert ten_pps["cpu_pct"] <= 2.0
+        assert 5.0 <= ten_pps["memory_mb"] <= 30.0
+
+    def test_latency_panels_stay_flat(self, benchmark, figure4_result):
+        rows = benchmark(lambda: sorted(figure4_result.rows, key=lambda r: r["probes_per_second"]))
+        rtts = [row["workload_rtt_us"] for row in rows]
+        jitters = [row["workload_jitter_us"] for row in rows]
+        # Probing is a drop in the bucket: the largest sweep point changes the
+        # workload RTT and jitter by well under 50%.
+        assert max(rtts) <= 1.5 * min(rtts)
+        assert max(jitters) <= 2.0 * max(min(jitters), 1.0)

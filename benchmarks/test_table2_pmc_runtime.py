@@ -1,0 +1,79 @@
+"""Table 2 -- PMC running time per optimisation level.
+
+The paper's claim: each added optimisation (problem decomposition, lazy score
+updates, symmetry reduction) cuts the construction time, by orders of
+magnitude at scale.  These benchmarks time each variant on a Fattree(6)
+routing matrix (1,377 candidate paths) and the full sweep harness on the
+"small" instance set, and assert the ordering strawman >= lazy variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PMCOptions, check_coverage, check_identifiability, construct_probe_matrix
+from repro.experiments import table2
+from repro.topology import PathOrbits
+
+ALPHA, BETA = 2, 1
+
+
+def _options(**flags):
+    return PMCOptions(alpha=ALPHA, beta=BETA, **flags)
+
+
+class TestPMCVariants:
+    def test_strawman(self, benchmark, fattree6_routing):
+        options = _options(use_decomposition=False, use_lazy_update=False, use_symmetry=False)
+        result = benchmark.pedantic(
+            construct_probe_matrix, args=(fattree6_routing, options), rounds=2, iterations=1
+        )
+        assert check_coverage(result.probe_matrix, ALPHA)
+        assert check_identifiability(result.probe_matrix, BETA)
+
+    def test_decomposition(self, benchmark, fattree6_routing):
+        options = _options(use_decomposition=True, use_lazy_update=False, use_symmetry=False)
+        result = benchmark.pedantic(
+            construct_probe_matrix, args=(fattree6_routing, options), rounds=2, iterations=1
+        )
+        assert check_coverage(result.probe_matrix, ALPHA)
+
+    def test_lazy_update(self, benchmark, fattree6_routing):
+        options = _options(use_decomposition=True, use_lazy_update=True, use_symmetry=False)
+        result = benchmark.pedantic(
+            construct_probe_matrix, args=(fattree6_routing, options), rounds=3, iterations=1
+        )
+        assert check_coverage(result.probe_matrix, ALPHA)
+
+    def test_symmetry(self, benchmark, fattree6, fattree6_routing):
+        orbits = PathOrbits.from_walks(fattree6, [p.nodes for p in fattree6_routing.paths])
+        options = _options(use_decomposition=True, use_lazy_update=True, use_symmetry=True)
+        result = benchmark.pedantic(
+            construct_probe_matrix,
+            args=(fattree6_routing, options),
+            kwargs={"orbits": orbits},
+            rounds=3,
+            iterations=1,
+        )
+        assert check_coverage(result.probe_matrix, ALPHA)
+        assert check_identifiability(result.probe_matrix, BETA)
+
+
+class TestTable2Harness:
+    def test_full_sweep_shape(self, benchmark):
+        table = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+        assert len(table.rows) >= 3
+        for row in table.rows:
+            timings = [
+                row[column]
+                for column in ("strawman", "decomposition", "lazy_update", "symmetry")
+                if row[column] is not None
+            ]
+            assert timings, f"no optimisation level ran for {row['dcn']}"
+            # The paper's headline ordering: the fully optimised variant never
+            # loses to the strawman (decomposition alone may add overhead on
+            # VL2/BCube, exactly as Table 2 reports).
+            if row["strawman"] is not None:
+                assert row["symmetry"] <= row["strawman"] * 1.2
+                assert row["lazy_update"] <= row["strawman"] * 1.2
+            assert row["selected_paths"] is not None and row["selected_paths"] > 0

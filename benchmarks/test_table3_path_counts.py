@@ -1,0 +1,50 @@
+"""Table 3 -- number of selected probe paths for different (alpha, beta).
+
+The reproduced claims:
+
+* PMC selects a tiny fraction of the candidate paths,
+* the path count grows with both alpha and beta,
+* for a k-ary Fattree the (1,1) selection stays within a small constant factor
+  of the k^3/5 lower bound (the paper: 61,440 selected vs 52,428.8 bound for
+  k=64, a factor of ~1.17).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table3
+
+
+class TestTable3Harness:
+    def test_path_count_shape(self, benchmark):
+        table = benchmark.pedantic(
+            table3.run,
+            kwargs={"alpha_beta": ((1, 0), (1, 1), (3, 2))},
+            rounds=1,
+            iterations=1,
+        )
+        assert len(table.rows) >= 3
+        for row in table.rows:
+            selected_10 = row["paths(1,0)"]
+            selected_11 = row["paths(1,1)"]
+            selected_32 = row["paths(3,2)"]
+            # Growth with the targets, as in every row of the paper's table.
+            assert selected_10 <= selected_11 <= selected_32
+            # A small fraction of the candidate set.
+            assert selected_32 <= row["candidate_paths"]
+            assert selected_10 <= 0.5 * row["candidate_paths"]
+
+    def test_fattree_lower_bound_proximity(self, benchmark):
+        instances = [i for i in table3.default_instances() if i.fattree_k is not None]
+        table = benchmark.pedantic(
+            table3.run,
+            kwargs={"instances": instances, "alpha_beta": ((1, 1),)},
+            rounds=1,
+            iterations=1,
+        )
+        for row in table.rows:
+            bound = row["fattree_lower_bound"]
+            selected = row["paths(1,1)"]
+            assert selected >= bound * 0.8  # the bound really is a lower bound (allowing rounding)
+            assert selected <= bound * 2.5  # and PMC stays close to it

@@ -1,0 +1,68 @@
+"""Table 4 -- localization accuracy vs probe-matrix coverage / identifiability.
+
+The reproduced claims (scaled to a Fattree(6)):
+
+* accuracy rises with coverage ((1,0) -> (3,0)),
+* adding identifiability helps more per selected path than adding coverage:
+  the (1,1) matrix reaches at least the (2,0) accuracy with fewer paths, and
+  the (1,2) matrix is the best of all,
+* accuracy does not collapse as the number of concurrent failures grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table4
+
+
+@pytest.fixture(scope="module")
+def table4_result():
+    return table4.run(
+        radix=6,
+        alpha_beta=((1, 0), (2, 0), (1, 1), (1, 2)),
+        failure_counts=(1, 5),
+        trials=6,
+        probes_per_path=100,
+        seed=2017,
+    )
+
+
+class TestTable4Harness:
+    def test_runs_and_benchmarks(self, benchmark):
+        table = benchmark.pedantic(
+            table4.run,
+            kwargs=dict(
+                radix=4,
+                alpha_beta=((1, 0), (1, 1)),
+                failure_counts=(1,),
+                trials=4,
+                probes_per_path=60,
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        assert len(table.rows) == 2
+
+    def test_identifiability_trend(self, benchmark, table4_result):
+        def read_rows():
+            return {row["alpha_beta"]: row for row in table4_result.rows}
+
+        rows = benchmark(read_rows)
+        acc = {key: rows[key]["acc_1_failures"] for key in rows}
+        paths = {key: rows[key]["paths"] for key in rows}
+        # Coverage trend.
+        assert acc["(2,0)"] >= acc["(1,0)"]
+        # Identifiability beats 0-identifiability clearly.
+        assert acc["(1,1)"] >= acc["(1,0)"] + 10.0
+        # Identifiability is cheaper per path than coverage.
+        assert paths["(1,1)"] < paths["(2,0)"]
+        assert acc["(1,1)"] >= acc["(2,0)"] - 7.0
+        # The strongest matrix is the most accurate.
+        assert acc["(1,2)"] == max(acc.values())
+
+    def test_accuracy_stable_under_many_failures(self, benchmark, table4_result):
+        rows = benchmark(lambda: {row["alpha_beta"]: row for row in table4_result.rows})
+        strong = rows["(1,2)"]
+        assert strong["acc_5_failures"] >= strong["acc_1_failures"] - 20.0
+        assert strong["acc_5_failures"] >= 70.0

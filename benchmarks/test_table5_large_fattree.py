@@ -1,0 +1,35 @@
+"""Table 5 -- accuracy / FP / FN with a 2-identifiable probe matrix.
+
+The reproduced claims (scaled from the paper's 48-ary Fattree to Fattree(6)):
+
+* accuracy stays high and roughly flat as the number of concurrent failures
+  grows,
+* the false-positive ratio stays very low (the paper: < 0.1%; we allow a few
+  percent at this much smaller scale),
+* accuracy + false negatives account for all truly bad links.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table5
+
+
+class TestTable5Harness:
+    def test_two_identifiable_localization(self, benchmark):
+        table = benchmark.pedantic(
+            table5.run,
+            kwargs=dict(radix=6, beta=2, failure_counts=(1, 5, 10), trials=6, probes_per_path=150),
+            rounds=1,
+            iterations=1,
+        )
+        assert len(table.rows) == 3
+        accuracies = [row["accuracy_pct"] for row in table.rows]
+        false_positives = [row["false_positive_pct"] for row in table.rows]
+        assert all(acc >= 80.0 for acc in accuracies)
+        assert all(fp <= 10.0 for fp in false_positives)
+        # Flatness: accuracy at 10 concurrent failures within 15 points of single-failure accuracy.
+        assert accuracies[-1] >= accuracies[0] - 15.0
+        for row in table.rows:
+            assert row["accuracy_pct"] + row["false_negative_pct"] == pytest.approx(100.0, abs=1e-6)

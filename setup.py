@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``.  This file exists so that
+``pip install -e . --no-build-isolation --no-use-pep517`` works in offline
+environments that lack the ``wheel`` package (legacy editable installs go
+through ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""Shared pieces of the baseline monitoring systems (Pingmesh, NetNORAD).
+
+Both competitors follow the same two-phase workflow deTector's motivation
+section criticises (§2):
+
+1. **Detection** -- end-to-end probes between server pairs with no path
+   pinning (ECMP decides the route), flagging pairs whose loss rate exceeds a
+   threshold;
+2. **Localization** -- a *post-alarm* tool (Netbouncer for Pingmesh, fbtracert
+   for NetNORAD) sends an additional round of probes between the suspected
+   pairs to find the faulty links.
+
+This module holds the data structures and the probe accounting shared by the
+two systems so the comparison experiments (Figs. 5-6) can treat all three
+monitoring systems uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SuspectedPair", "MonitoringOutcome", "BaselineConfig"]
+
+
+@dataclass(frozen=True)
+class SuspectedPair:
+    """A source/destination pair whose end-to-end loss rate tripped the detector."""
+
+    src: str
+    dst: str
+    sent: int
+    lost: int
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+
+@dataclass
+class MonitoringOutcome:
+    """What a monitoring system produced during one evaluation window."""
+
+    system: str
+    suspected_links: List[int]
+    suspected_pairs: List[SuspectedPair]
+    detection_probes: int
+    localization_probes: int
+    detection_seconds: float
+    localization_seconds: float
+
+    @property
+    def total_probes(self) -> int:
+        return self.detection_probes + self.localization_probes
+
+    @property
+    def time_to_localization_seconds(self) -> float:
+        """End-to-end latency from failure onset to localized links.
+
+        deTector localizes from the detection data itself; the baselines pay
+        for an extra localization round, which is the "30 seconds in advance"
+        advantage quoted in §6.3.
+        """
+        return self.detection_seconds + self.localization_seconds
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Probing budget and thresholds shared by the baseline systems.
+
+    Attributes
+    ----------
+    probes_per_pair:
+        Detection probes sent between each monitored pair per window.
+    detection_loss_threshold:
+        Minimum per-pair loss ratio for the pair to be reported (1e-3 as in
+        Pingmesh's data pre-processing, which the paper reuses for all three
+        systems to keep the comparison fair, §6.2).
+    detection_min_losses:
+        Alternative absolute trigger for short windows.
+    localization_probes_per_path:
+        Probes the post-alarm tool sends on every candidate path between a
+        suspected pair.
+    probe_budget_per_window:
+        Optional hard cap on the *total* probes (detection plus localization)
+        the system may send in one window.  Used by the fixed-budget
+        comparison (Fig. 6): once the cap is reached the post-alarm tool stops
+        probing further paths, which is the price of separating detection
+        from localization.
+    window_seconds:
+        Length of the detection window (30 s, the same aggregation interval
+        as deTector).
+    localization_round_seconds:
+        Extra time the post-alarm tool needs for its own probing round.
+    """
+
+    probes_per_pair: int = 20
+    detection_loss_threshold: float = 1e-3
+    detection_min_losses: int = 1
+    localization_probes_per_path: int = 20
+    probe_budget_per_window: Optional[int] = None
+    window_seconds: float = 30.0
+    localization_round_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.probes_per_pair < 1:
+            raise ValueError("probes_per_pair must be >= 1")
+        if self.localization_probes_per_path < 1:
+            raise ValueError("localization_probes_per_path must be >= 1")
+        if not 0.0 <= self.detection_loss_threshold <= 1.0:
+            raise ValueError("detection_loss_threshold must lie in [0, 1]")
+        if self.probe_budget_per_window is not None and self.probe_budget_per_window < 1:
+            raise ValueError("probe_budget_per_window must be >= 1 when given")
+
+    def localization_budget(self, detection_probes: int) -> Optional[int]:
+        """Probes the post-alarm tool may still send, or ``None`` when unlimited."""
+        if self.probe_budget_per_window is None:
+            return None
+        return max(0, self.probe_budget_per_window - detection_probes)
+
+    def pair_is_suspect(self, sent: int, lost: int) -> bool:
+        if lost == 0:
+            return False
+        if lost >= self.detection_min_losses and sent and lost / sent >= self.detection_loss_threshold:
+            return True
+        return False

@@ -1,0 +1,235 @@
+"""Command line interface for the deTector reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro topology fattree --k 4
+    python -m repro pmc fattree --k 6 --alpha 2 --beta 1 --symmetry
+    python -m repro monitor --k 4 --windows 5 --failures 1 --seed 7
+    python -m repro experiment table2
+
+Sub-commands:
+
+* ``topology``   -- build a topology and print its node/link summary,
+* ``pmc``        -- construct a probe matrix and report its quality metrics,
+* ``monitor``    -- run the full monitoring system against random failures,
+* ``experiment`` -- regenerate one of the paper's tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="deTector (USENIX ATC 2017) reproduction -- topology-aware DCN monitoring",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    topology = subparsers.add_parser("topology", help="build a topology and print its summary")
+    _add_topology_arguments(topology)
+
+    pmc = subparsers.add_parser("pmc", help="construct a probe matrix with PMC")
+    _add_topology_arguments(pmc)
+    pmc.add_argument("--alpha", type=int, default=3, help="coverage target (default 3)")
+    pmc.add_argument("--beta", type=int, default=1, help="identifiability target (default 1)")
+    pmc.add_argument("--symmetry", action="store_true", help="enable symmetry reduction")
+    pmc.add_argument(
+        "--no-lazy", action="store_true", help="disable lazy (CELF) score updates"
+    )
+    pmc.add_argument(
+        "--no-decomposition", action="store_true", help="disable problem decomposition"
+    )
+
+    monitor = subparsers.add_parser("monitor", help="run the monitoring system end to end")
+    monitor.add_argument("--k", type=int, default=4, help="Fattree radix (default 4)")
+    monitor.add_argument("--alpha", type=int, default=3)
+    monitor.add_argument("--beta", type=int, default=1)
+    monitor.add_argument("--windows", type=int, default=5, help="number of 30 s windows to run")
+    monitor.add_argument("--failures", type=int, default=1, help="concurrent failures per window")
+    monitor.add_argument("--probes-per-second", type=float, default=10.0)
+    monitor.add_argument("--seed", type=int, default=2017)
+
+    experiment = subparsers.add_parser("experiment", help="regenerate a table/figure of the paper")
+    experiment.add_argument(
+        "name",
+        choices=[
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "figure4",
+            "figure5",
+            "figure6",
+            "pll",
+            "all",
+        ],
+        help="which experiment harness to run ('all' runs the quick suite)",
+    )
+    experiment.add_argument(
+        "--output-dir",
+        default=None,
+        help="with 'all': directory to write per-experiment .txt/.csv results to",
+    )
+    experiment.add_argument(
+        "--scale",
+        choices=["quick", "full"],
+        default="quick",
+        help="with 'all': suite scale (quick ~ minutes, full ~ tens of minutes)",
+    )
+    return parser
+
+
+def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "kind", choices=["fattree", "vl2", "bcube"], help="topology family to build"
+    )
+    parser.add_argument("--k", type=int, default=4, help="Fattree radix (default 4)")
+    parser.add_argument("--da", type=int, default=8, help="VL2 d_a parameter")
+    parser.add_argument("--di", type=int, default=6, help="VL2 d_i parameter")
+    parser.add_argument("--servers-per-tor", type=int, default=2, help="VL2 servers per ToR")
+    parser.add_argument("--n", type=int, default=4, help="BCube port count")
+    parser.add_argument("--levels", type=int, default=1, help="BCube level parameter k")
+
+
+def _build_topology(args: argparse.Namespace):
+    from repro import build_bcube, build_fattree, build_vl2
+
+    if args.kind == "fattree":
+        return build_fattree(args.k)
+    if args.kind == "vl2":
+        return build_vl2(args.da, args.di, args.servers_per_tor)
+    return build_bcube(args.n, args.levels)
+
+
+# ---------------------------------------------------------------------------
+# sub-command handlers
+# ---------------------------------------------------------------------------
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    topology = _build_topology(args)
+    print(f"{topology.name}")
+    for key, value in topology.summary().items():
+        print(f"  {key:13s} {value}")
+    return 0
+
+
+def _cmd_pmc(args: argparse.Namespace) -> int:
+    from repro import pmc_for_topology
+    from repro.core import check_coverage, identifiability_level
+
+    topology = _build_topology(args)
+    result = pmc_for_topology(
+        topology,
+        alpha=args.alpha,
+        beta=args.beta,
+        use_symmetry=args.symmetry,
+        use_lazy_update=not args.no_lazy,
+        use_decomposition=not args.no_decomposition,
+    )
+    probe_matrix = result.probe_matrix
+    print(f"{topology.name}: selected {result.num_paths} probe paths "
+          f"for {probe_matrix.num_links} inter-switch links "
+          f"in {result.stats.elapsed_seconds:.3f} s {result.options.label()}")
+    print(f"  coverage >= {args.alpha}: {check_coverage(probe_matrix, args.alpha)}")
+    achieved = identifiability_level(probe_matrix, max_beta=max(args.beta, 1))
+    print(f"  achieved identifiability: {achieved} (target {args.beta})")
+    summary = probe_matrix.summary()
+    print(f"  link coverage min/mean/max: {summary['min_coverage']}/"
+          f"{summary['mean_coverage']:.1f}/{summary['max_coverage']}")
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro import build_fattree
+    from repro.localization import aggregate_metrics
+    from repro.monitor import ControllerConfig, DetectorSystem
+    from repro.simulation import FailureGenerator
+
+    topology = build_fattree(args.k)
+    rng = np.random.default_rng(args.seed)
+    system = DetectorSystem(
+        topology,
+        rng,
+        ControllerConfig(
+            alpha=args.alpha, beta=args.beta, probes_per_second=args.probes_per_second
+        ),
+    )
+    cycle = system.run_controller_cycle()
+    print(
+        f"controller: {cycle.probe_matrix.num_paths} probe paths, {cycle.num_pingers} pingers"
+    )
+    generator = FailureGenerator(topology, rng)
+    metrics = []
+    for window in range(args.windows):
+        scenario = generator.generate(args.failures)
+        outcome = system.run_window(scenario)
+        metrics.append(outcome.metrics)
+        print(f"window {window}: injected {scenario.description}")
+        if outcome.diagnosis.alerts:
+            for alert in outcome.diagnosis.alerts:
+                print(f"  ALERT {alert.describe()}")
+        else:
+            print("  no alerts")
+    aggregated = aggregate_metrics(metrics)
+    print(
+        f"overall: accuracy {aggregated['accuracy']:.0%}, "
+        f"false positives {aggregated['false_positive_ratio']:.0%} over {args.windows} windows"
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        default_suite,
+        figure4,
+        figure5,
+        figure6,
+        pll_comparison,
+        run_all,
+        table2,
+        table3,
+        table4,
+        table5,
+    )
+
+    if args.name == "all":
+        run_all(default_suite(args.scale), output_dir=args.output_dir)
+        return 0
+
+    modules = {
+        "table2": table2,
+        "table3": table3,
+        "table4": table4,
+        "table5": table5,
+        "figure4": figure4,
+        "figure5": figure5,
+        "figure6": figure6,
+        "pll": pll_comparison,
+    }
+    modules[args.name].main()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for ``python -m repro`` / ``python -m repro.cli``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "topology": _cmd_topology,
+        "pmc": _cmd_pmc,
+        "monitor": _cmd_monitor,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,35 @@
+"""deTector's primary contribution: probe-matrix construction and its building blocks."""
+
+from .decomposition import Subproblem, decompose_by_link_sets, decompose_routing_matrix
+from .lazy_greedy import LazyMinHeap
+from .link_partition import LinkSetPartition
+from .pmc import PMCOptions, PMCResult, PMCStats, construct_probe_matrix, pmc_for_topology
+from .probe_matrix import ProbeMatrix
+from .properties import (
+    check_coverage,
+    check_identifiability,
+    coverage_level,
+    find_confusable_failure_sets,
+    identifiability_level,
+)
+from .virtual_links import ExtendedLinkSpace
+
+__all__ = [
+    "ProbeMatrix",
+    "PMCOptions",
+    "PMCResult",
+    "PMCStats",
+    "construct_probe_matrix",
+    "pmc_for_topology",
+    "LazyMinHeap",
+    "LinkSetPartition",
+    "ExtendedLinkSpace",
+    "Subproblem",
+    "decompose_routing_matrix",
+    "decompose_by_link_sets",
+    "check_coverage",
+    "check_identifiability",
+    "coverage_level",
+    "identifiability_level",
+    "find_confusable_failure_sets",
+]

@@ -1,0 +1,119 @@
+"""Problem decomposition into independent subproblems (§4.3, Observation 1).
+
+Build the bipartite graph with paths on one side and links on the other (a
+path node is adjacent to the link nodes it traverses).  Connected components
+of this graph are independent probe-matrix / localization subproblems: no path
+of one component crosses a link of another, so the greedy (or PLL) can run on
+each component separately -- and in the paper's case, in parallel.
+
+The component computation is a single union-find pass over the links of each
+path, i.e. linear in the size of the routing matrix, matching the "linear
+time by traversing the bipartite graph once" remark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..routing import RoutingMatrix
+
+__all__ = ["Subproblem", "decompose_routing_matrix", "decompose_by_link_sets"]
+
+
+class _UnionFind:
+    """Minimal union-find with path compression and union by size."""
+
+    def __init__(self):
+        self._parent: Dict[int, int] = {}
+        self._size: Dict[int, int] = {}
+
+    def add(self, item: int) -> None:
+        if item not in self._parent:
+            self._parent[item] = item
+            self._size[item] = 1
+
+    def find(self, item: int) -> int:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: int, b: int) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return
+        if self._size[root_a] < self._size[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        self._size[root_a] += self._size[root_b]
+
+
+@dataclass
+class Subproblem:
+    """An independent slice of the probe-path selection problem.
+
+    Attributes
+    ----------
+    link_ids:
+        The physical links of this component (sorted).
+    path_indices:
+        Indices (into the parent routing matrix) of the candidate paths whose
+        links all belong to this component.
+    """
+
+    link_ids: Tuple[int, ...]
+    path_indices: Tuple[int, ...]
+
+    @property
+    def num_links(self) -> int:
+        return len(self.link_ids)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.path_indices)
+
+
+def decompose_by_link_sets(
+    path_link_sets: Sequence[frozenset], link_universe: Sequence[int]
+) -> List[Subproblem]:
+    """Decompose from raw path->link-set data (no RoutingMatrix required)."""
+    uf = _UnionFind()
+    for link in link_universe:
+        uf.add(link)
+    for links in path_link_sets:
+        links = [l for l in links if l in uf._parent]
+        if not links:
+            continue
+        first = links[0]
+        for other in links[1:]:
+            uf.union(first, other)
+
+    groups: Dict[int, List[int]] = {}
+    for link in link_universe:
+        groups.setdefault(uf.find(link), []).append(link)
+
+    # Assign each path to the component of its first link.  Paths with no
+    # links inside the universe are dropped (they cannot help any component).
+    path_groups: Dict[int, List[int]] = {root: [] for root in groups}
+    for index, links in enumerate(path_link_sets):
+        anchor = next((l for l in links if l in uf._parent), None)
+        if anchor is None:
+            continue
+        path_groups[uf.find(anchor)].append(index)
+
+    subproblems = [
+        Subproblem(link_ids=tuple(sorted(links)), path_indices=tuple(path_groups[root]))
+        for root, links in groups.items()
+    ]
+    # Deterministic ordering: by smallest link id.
+    subproblems.sort(key=lambda sp: sp.link_ids[0] if sp.link_ids else -1)
+    return subproblems
+
+
+def decompose_routing_matrix(routing_matrix: RoutingMatrix) -> List[Subproblem]:
+    """Connected components of the path/link bipartite graph of a routing matrix."""
+    link_sets = [routing_matrix.links_on(i) for i in range(routing_matrix.num_paths)]
+    return decompose_by_link_sets(link_sets, routing_matrix.link_ids)

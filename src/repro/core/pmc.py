@@ -1,0 +1,385 @@
+"""Probe Matrix Construction (PMC) -- Algorithm 1 of the paper.
+
+Given the routing matrix ``R`` (every candidate probe path the routing
+protocol allows), PMC greedily selects a minimal set of paths such that the
+resulting probe matrix
+
+* covers every inter-switch link at least ``alpha`` times,
+* is ``beta``-identifiable (every combination of at most ``beta`` failed links
+  yields a unique loss syndrome), and
+* spreads probe load evenly across links.
+
+The greedy repeatedly picks the candidate path with the lowest score
+
+    score(path) = sum_{link on path} w[link]  -  (# of link sets on path)   (Eq. 1)
+
+where ``w[link]`` counts how many selected paths already cross the link and
+the "link sets" are the cells of the refinement partition described in §4.2
+(over the extended link space that includes virtual links for ``beta >= 2``).
+
+Three optional optimisations reproduce §4.3:
+
+* **decomposition** -- split into independent subproblems (connected
+  components of the path/link bipartite graph) and solve each separately,
+* **lazy update** -- CELF-style deferred re-scoring via a min-heap,
+* **symmetry** -- when a path is selected, also select link-disjoint
+  topologically isomorphic images of it that still provide gain (the
+  green/purple path example of Observation 3), which slashes the number of
+  greedy iterations on symmetric fabrics.
+
+Independent of the score, a popped candidate that can no longer refine any
+link set nor cover an under-covered link is discarded permanently: by
+submodularity its marginal gain can only shrink, so it will never become
+useful.  This keeps the selection minimal when the requested identifiability
+is unachievable (e.g. ``beta = 2`` in a 4-ary Fattree, §6.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..routing import Path, RoutingMatrix
+from ..topology import PathOrbits, Topology
+from .decomposition import Subproblem, decompose_routing_matrix
+from .lazy_greedy import LazyMinHeap
+from .link_partition import LinkSetPartition
+from .probe_matrix import ProbeMatrix
+from .virtual_links import ExtendedLinkSpace
+
+__all__ = ["PMCOptions", "PMCStats", "PMCResult", "construct_probe_matrix", "pmc_for_topology"]
+
+
+@dataclass
+class PMCOptions:
+    """Tuning knobs of the PMC algorithm.
+
+    Attributes
+    ----------
+    alpha:
+        Coverage target: every link must lie on at least ``alpha`` selected
+        paths (links that no candidate path crosses are reported as
+        uncoverable instead of looping forever).
+    beta:
+        Identifiability target; ``beta = 0`` requests pure coverage.
+    use_decomposition / use_lazy_update / use_symmetry:
+        The three speed-ups of §4.3.  All disabled reproduces the strawman
+        column of Table 2.
+    skip_zero_gain:
+        Discard popped candidates with no marginal gain (default).  Turning
+        this off reproduces the textbook greedy exactly but may select
+        useless paths when the identifiability target is unachievable.
+    max_paths:
+        Optional hard cap on the number of selected paths (safety valve for
+        experiments; ``None`` means unlimited).
+    """
+
+    alpha: int = 1
+    beta: int = 1
+    use_decomposition: bool = True
+    use_lazy_update: bool = True
+    use_symmetry: bool = False
+    skip_zero_gain: bool = True
+    max_paths: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+
+    def label(self) -> str:
+        """Short human readable tag, e.g. ``(alpha=2, beta=1, lazy+sym)``."""
+        opts = []
+        if self.use_decomposition:
+            opts.append("decomp")
+        if self.use_lazy_update:
+            opts.append("lazy")
+        if self.use_symmetry:
+            opts.append("sym")
+        tag = "+".join(opts) if opts else "strawman"
+        return f"(alpha={self.alpha}, beta={self.beta}, {tag})"
+
+
+@dataclass
+class PMCStats:
+    """Bookkeeping produced while constructing a probe matrix."""
+
+    iterations: int = 0
+    candidates_scored: int = 0
+    candidates_discarded: int = 0
+    symmetry_batch_selections: int = 0
+    subproblems: int = 1
+    elapsed_seconds: float = 0.0
+    fully_refined: bool = False
+    coverage_satisfied: bool = False
+    uncoverable_links: Tuple[int, ...] = ()
+
+    def merge(self, other: "PMCStats") -> None:
+        self.iterations += other.iterations
+        self.candidates_scored += other.candidates_scored
+        self.candidates_discarded += other.candidates_discarded
+        self.symmetry_batch_selections += other.symmetry_batch_selections
+        self.fully_refined = self.fully_refined and other.fully_refined
+        self.coverage_satisfied = self.coverage_satisfied and other.coverage_satisfied
+        self.uncoverable_links = tuple(
+            sorted(set(self.uncoverable_links) | set(other.uncoverable_links))
+        )
+
+
+@dataclass
+class PMCResult:
+    """Outcome of a PMC run: the probe matrix plus provenance."""
+
+    probe_matrix: ProbeMatrix
+    selected_indices: Tuple[int, ...]
+    options: PMCOptions
+    stats: PMCStats
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.selected_indices)
+
+
+def construct_probe_matrix(
+    routing_matrix: RoutingMatrix,
+    options: Optional[PMCOptions] = None,
+    orbits: Optional[PathOrbits] = None,
+) -> PMCResult:
+    """Run PMC over a routing matrix and return the constructed probe matrix.
+
+    Parameters
+    ----------
+    routing_matrix:
+        The candidate paths and the link universe.
+    options:
+        :class:`PMCOptions`; defaults to ``alpha=1, beta=1`` with
+        decomposition and lazy updates enabled.
+    orbits:
+        Precomputed :class:`~repro.topology.PathOrbits` over the routing
+        matrix's paths; required when ``options.use_symmetry`` is set (the
+        convenience wrapper :func:`pmc_for_topology` computes it).
+    """
+    options = options or PMCOptions()
+    if options.use_symmetry and orbits is None:
+        orbits = PathOrbits.from_walks(
+            routing_matrix.topology, [p.nodes for p in routing_matrix.paths]
+        )
+
+    start = time.perf_counter()
+    stats = PMCStats(fully_refined=True, coverage_satisfied=True)
+
+    if options.use_decomposition:
+        subproblems = decompose_routing_matrix(routing_matrix)
+    else:
+        subproblems = [
+            Subproblem(
+                link_ids=tuple(routing_matrix.link_ids),
+                path_indices=tuple(range(routing_matrix.num_paths)),
+            )
+        ]
+    stats.subproblems = len(subproblems)
+
+    selected: List[int] = []
+    for subproblem in subproblems:
+        sub_selected, sub_stats = _solve_subproblem(
+            routing_matrix, subproblem, options, orbits
+        )
+        selected.extend(sub_selected)
+        stats.merge(sub_stats)
+        if options.max_paths is not None and len(selected) >= options.max_paths:
+            selected = selected[: options.max_paths]
+            break
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    selected_tuple = tuple(selected)
+    probe_matrix = ProbeMatrix.from_selection(routing_matrix, selected_tuple)
+    return PMCResult(
+        probe_matrix=probe_matrix,
+        selected_indices=selected_tuple,
+        options=options,
+        stats=stats,
+    )
+
+
+def pmc_for_topology(
+    topology: Topology,
+    alpha: int = 1,
+    beta: int = 1,
+    ordered_pairs: bool = False,
+    **option_overrides,
+) -> PMCResult:
+    """Enumerate candidate paths for *topology* and run PMC on them.
+
+    This is the one-call entry point used by the controller and the examples:
+    it wires together path enumeration, orbit computation (when symmetry is
+    requested) and the greedy itself.
+    """
+    from ..routing import enumerate_candidate_paths
+
+    paths = enumerate_candidate_paths(topology, ordered=ordered_pairs)
+    routing_matrix = RoutingMatrix(topology, paths)
+    options = PMCOptions(alpha=alpha, beta=beta, **option_overrides)
+    orbits = None
+    if options.use_symmetry:
+        orbits = PathOrbits.from_walks(topology, [p.nodes for p in paths])
+    return construct_probe_matrix(routing_matrix, options, orbits=orbits)
+
+
+# ---------------------------------------------------------------------------
+# subproblem solver
+# ---------------------------------------------------------------------------
+
+def _solve_subproblem(
+    routing_matrix: RoutingMatrix,
+    subproblem: Subproblem,
+    options: PMCOptions,
+    orbits: Optional[PathOrbits],
+) -> Tuple[List[int], PMCStats]:
+    stats = PMCStats()
+    link_ids = list(subproblem.link_ids)
+    path_indices = list(subproblem.path_indices)
+    path_index_set = set(path_indices)
+
+    if not link_ids or not path_indices:
+        # Links that no candidate path can probe are reported as uncoverable;
+        # coverage is vacuously satisfied among coverable links, but the
+        # identifiability target cannot be met for them.
+        stats.fully_refined = not link_ids
+        stats.coverage_satisfied = True
+        stats.uncoverable_links = tuple(link_ids)
+        return [], stats
+
+    extended = ExtendedLinkSpace(link_ids, options.beta)
+    partition = LinkSetPartition(extended.num_extended)
+    weights: Dict[int, int] = {link: 0 for link in link_ids}
+
+    coverable = {
+        link for link in link_ids if routing_matrix.paths_through(link)
+    }
+    stats.uncoverable_links = tuple(sorted(set(link_ids) - coverable))
+    under_covered: Set[int] = set(coverable) if options.alpha > 0 else set()
+
+    links_on = routing_matrix.links_on
+
+    def score(path_index: int) -> float:
+        stats.candidates_scored += 1
+        path_links = links_on(path_index)
+        weight_term = sum(weights[l] for l in path_links)
+        ext_on_path = extended.extended_links_on_path(path_links)
+        return weight_term - partition.cells_touched(ext_on_path)
+
+    # Every non-empty path initially touches the single cell with zero weight,
+    # so its initial score is exactly -1; empty paths score 0 and will be
+    # discarded on pop.
+    heap: LazyMinHeap[int] = LazyMinHeap(
+        ((-1.0 if links_on(i) else 0.0), i) for i in path_indices
+    )
+
+    selected: List[int] = []
+    selected_set: Set[int] = set()
+    identifiability_needed = options.beta > 0
+    iteration = 0
+
+    def goals_met() -> bool:
+        refinement_done = partition.fully_refined if identifiability_needed else True
+        return refinement_done and not under_covered
+
+    def marginal_gain(path_index: int) -> Tuple[int, int]:
+        """(new cells the path would split off, under-covered links it crosses)."""
+        path_links = links_on(path_index)
+        covers = sum(1 for l in path_links if l in under_covered)
+        splits = 0
+        if identifiability_needed and not partition.fully_refined:
+            ext_on_path = extended.extended_links_on_path(path_links)
+            splits = partition.splits_gained(ext_on_path)
+        return splits, covers
+
+    def apply_selection(path_index: int) -> None:
+        path_links = links_on(path_index)
+        if identifiability_needed:
+            ext_on_path = extended.extended_links_on_path(path_links)
+            partition.split(ext_on_path)
+        for link in path_links:
+            weights[link] += 1
+            if link in under_covered and weights[link] >= options.alpha:
+                under_covered.discard(link)
+        selected.append(path_index)
+        selected_set.add(path_index)
+
+    while not goals_met():
+        if options.max_paths is not None and len(selected) >= options.max_paths:
+            break
+        iteration += 1
+        if options.use_lazy_update:
+            popped = heap.pop_lazy(iteration, score)
+        else:
+            popped = heap.pop_eager(score)
+        if popped is None:
+            break
+        _, path_index = popped
+        if path_index in selected_set:
+            continue
+
+        splits, covers = marginal_gain(path_index)
+        if options.skip_zero_gain and splits == 0 and covers == 0:
+            stats.candidates_discarded += 1
+            continue
+
+        apply_selection(path_index)
+        stats.iterations += 1
+
+        if options.use_symmetry and orbits is not None:
+            _select_orbit_mates(
+                path_index,
+                orbits,
+                path_index_set,
+                selected_set,
+                links_on,
+                marginal_gain,
+                apply_selection,
+                options,
+                stats,
+            )
+
+    stats.fully_refined = partition.fully_refined or not identifiability_needed
+    stats.coverage_satisfied = not under_covered
+    return selected, stats
+
+
+def _select_orbit_mates(
+    seed_path: int,
+    orbits: PathOrbits,
+    path_index_set: Set[int],
+    selected_set: Set[int],
+    links_on,
+    marginal_gain,
+    apply_selection,
+    options: PMCOptions,
+    stats: PMCStats,
+) -> None:
+    """Batch-select topologically isomorphic images of a just-selected path.
+
+    Only images that (a) belong to the same subproblem, (b) are link-disjoint
+    from every path selected in this batch, and (c) still provide marginal
+    gain are taken.  Disjointness mirrors the paper's example (a path spanning
+    pods 1-2 is followed by its image spanning pods 3-4) and bounds the batch
+    size by ``#links / path-length``.
+    """
+    batch_links: Set[int] = set(links_on(seed_path))
+    orbit = orbits.orbit_of(seed_path)
+    for mate in orbits.orbit_members(orbit):
+        if mate == seed_path or mate in selected_set or mate not in path_index_set:
+            continue
+        mate_links = links_on(mate)
+        if batch_links & mate_links:
+            continue
+        if options.max_paths is not None and len(selected_set) >= options.max_paths:
+            break
+        splits, covers = marginal_gain(mate)
+        if splits == 0 and covers == 0:
+            continue
+        apply_selection(mate)
+        batch_links.update(mate_links)
+        stats.symmetry_batch_selections += 1

@@ -1,0 +1,111 @@
+"""Exact verification of the probe-matrix properties: coverage and identifiability.
+
+These checkers are the ground truth the PMC algorithm is tested against.  They
+are exponential in ``beta`` (all failure combinations up to size ``beta`` are
+enumerated), so they are meant for the scaled-down instances used in tests and
+benchmarks, not for production-size fabrics -- which is exactly how the paper
+uses the definitions (the construction guarantees the property; the definition
+is only enumerated to validate).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from .probe_matrix import ProbeMatrix
+
+__all__ = [
+    "check_coverage",
+    "coverage_level",
+    "check_identifiability",
+    "identifiability_level",
+    "find_confusable_failure_sets",
+]
+
+
+def check_coverage(probe_matrix: ProbeMatrix, alpha: int) -> bool:
+    """``True`` iff every link of the universe lies on at least ``alpha`` probe paths."""
+    return probe_matrix.satisfies_coverage(alpha)
+
+
+def coverage_level(probe_matrix: ProbeMatrix) -> int:
+    """The largest ``alpha`` for which the matrix is ``alpha``-covering (0 if a link is uncovered)."""
+    return probe_matrix.min_coverage()
+
+
+def _syndromes_up_to(
+    probe_matrix: ProbeMatrix, beta: int
+) -> Dict[FrozenSet[int], FrozenSet[int]]:
+    """Map each failure set of size 1..beta to its loss syndrome."""
+    syndromes: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    links = probe_matrix.link_ids
+    single: Dict[int, FrozenSet[int]] = {
+        link: frozenset(probe_matrix.paths_through(link)) for link in links
+    }
+    for size in range(1, beta + 1):
+        for combo in combinations(links, size):
+            syndrome: FrozenSet[int] = frozenset()
+            for link in combo:
+                syndrome = syndrome | single[link]
+            syndromes[frozenset(combo)] = syndrome
+    return syndromes
+
+
+def check_identifiability(probe_matrix: ProbeMatrix, beta: int) -> bool:
+    """Exact ``beta``-identifiability check.
+
+    A probe matrix is ``beta``-identifiable when every two distinct failure
+    sets of at most ``beta`` links produce different syndromes, and every
+    non-empty failure set produces a non-empty syndrome (otherwise it would be
+    confused with "no failure").
+    """
+    if beta <= 0:
+        return True
+    syndromes = _syndromes_up_to(probe_matrix, beta)
+    seen: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    for failure_set, syndrome in syndromes.items():
+        if not syndrome:
+            return False
+        previous = seen.get(syndrome)
+        if previous is not None and previous != failure_set:
+            return False
+        seen[syndrome] = failure_set
+    return True
+
+
+def find_confusable_failure_sets(
+    probe_matrix: ProbeMatrix, beta: int, limit: int = 10
+) -> List[Tuple[FrozenSet[int], FrozenSet[int]]]:
+    """Pairs of distinct failure sets (size <= beta) with identical syndromes.
+
+    Useful in tests and when debugging why a constructed matrix falls short of
+    the requested identifiability (e.g. 2-identifiability is impossible in a
+    4-ary Fattree, §6.3).
+    """
+    if beta <= 0:
+        return []
+    syndromes = _syndromes_up_to(probe_matrix, beta)
+    seen: Dict[FrozenSet[int], FrozenSet[int]] = {}
+    confusable: List[Tuple[FrozenSet[int], FrozenSet[int]]] = []
+    for failure_set, syndrome in syndromes.items():
+        if not syndrome:
+            confusable.append((failure_set, frozenset()))
+        elif syndrome in seen and seen[syndrome] != failure_set:
+            confusable.append((seen[syndrome], failure_set))
+        else:
+            seen[syndrome] = failure_set
+        if len(confusable) >= limit:
+            break
+    return confusable
+
+
+def identifiability_level(probe_matrix: ProbeMatrix, max_beta: int = 3) -> int:
+    """The largest ``beta <= max_beta`` for which the matrix is ``beta``-identifiable."""
+    level = 0
+    for beta in range(1, max_beta + 1):
+        if check_identifiability(probe_matrix, beta):
+            level = beta
+        else:
+            break
+    return level

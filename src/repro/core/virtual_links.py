@@ -1,0 +1,126 @@
+"""Virtual-link extension of the routing matrix (the LINKOR step of Alg. 1).
+
+To reduce ``beta``-identifiability to the 1-identifiability construction, the
+paper augments the link set with *virtual links*: one per combination of 2 to
+``beta`` physical links.  A path covers a virtual link iff it covers at least
+one of its constituent physical links ("OR"-ing the columns, Fig. 3).
+
+:class:`ExtendedLinkSpace` materialises this extension without ever building
+the extended matrix ``R'`` explicitly: it assigns dense ids to every extended
+link (physical links keep their position, combinations follow) and provides
+
+* ``extended_links_containing(physical_link)`` -- the extended links whose
+  combination includes the physical link, and
+* ``extended_links_on_path(path_links)`` -- the union of the above over a
+  path's physical links,
+
+which is all the PMC link-set splitting needs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["ExtendedLinkSpace"]
+
+
+class ExtendedLinkSpace:
+    """Dense numbering of physical links plus their <= beta combinations.
+
+    Parameters
+    ----------
+    physical_links:
+        The physical link ids (the probe-matrix universe of the subproblem).
+    beta:
+        Identifiability target.  ``beta <= 1`` adds no virtual links.  For
+        ``beta >= 2`` every combination of ``2..beta`` physical links becomes a
+        virtual link, so the extended universe has
+        ``sum(C(n, i) for i in 1..beta)`` members -- exactly the column count
+        of ``R'`` in §4.2.
+    """
+
+    def __init__(self, physical_links: Sequence[int], beta: int):
+        if beta < 0:
+            raise ValueError("beta must be non-negative")
+        self._physical: Tuple[int, ...] = tuple(sorted(set(physical_links)))
+        self._beta = beta
+
+        # Extended id -> the combination (as a tuple of physical link ids).
+        self._combos: List[Tuple[int, ...]] = [(link,) for link in self._physical]
+        # Physical link id -> extended ids containing it.
+        self._containing: Dict[int, List[int]] = {
+            link: [index] for index, link in enumerate(self._physical)
+        }
+        if beta >= 2:
+            for size in range(2, beta + 1):
+                for combo in combinations(self._physical, size):
+                    ext_id = len(self._combos)
+                    self._combos.append(combo)
+                    for link in combo:
+                        self._containing[link].append(ext_id)
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def beta(self) -> int:
+        return self._beta
+
+    @property
+    def physical_links(self) -> Tuple[int, ...]:
+        return self._physical
+
+    @property
+    def num_physical(self) -> int:
+        return len(self._physical)
+
+    @property
+    def num_extended(self) -> int:
+        return len(self._combos)
+
+    @property
+    def num_virtual(self) -> int:
+        return self.num_extended - self.num_physical
+
+    # ---------------------------------------------------------------- lookups
+    def combination(self, extended_id: int) -> Tuple[int, ...]:
+        """The physical links an extended link stands for."""
+        return self._combos[extended_id]
+
+    def is_virtual(self, extended_id: int) -> bool:
+        return len(self._combos[extended_id]) > 1
+
+    def physical_to_extended(self, physical_link: int) -> int:
+        """The extended id of a single physical link.
+
+        Physical links occupy the first ``num_physical`` extended ids, and the
+        singleton extended link is always the first entry of the containing
+        list, so this lookup is O(1).
+        """
+        try:
+            return self._containing[physical_link][0]
+        except KeyError:
+            raise KeyError(f"link {physical_link} is not part of this extended space") from None
+
+    def extended_links_containing(self, physical_link: int) -> Sequence[int]:
+        """Extended ids whose combination includes the given physical link."""
+        try:
+            return self._containing[physical_link]
+        except KeyError:
+            raise KeyError(f"link {physical_link} is not part of this extended space") from None
+
+    def extended_links_on_path(self, path_links: Iterable[int]) -> Set[int]:
+        """Extended ids covered by a path (OR of the member columns, Fig. 3)."""
+        covered: Set[int] = set()
+        for link in path_links:
+            ids = self._containing.get(link)
+            if ids:
+                covered.update(ids)
+        return covered
+
+    def expected_extended_count(self) -> int:
+        """``sum(C(n, i) for i in 1..beta)`` -- for documentation and tests."""
+        from math import comb
+
+        n = self.num_physical
+        upper = max(1, self._beta)
+        return sum(comb(n, i) for i in range(1, upper + 1))

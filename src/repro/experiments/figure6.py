@@ -1,0 +1,182 @@
+"""Figure 6 -- accuracy and false positives with multiple concurrent failures.
+
+Same three systems as Fig. 5, but the probing budget is fixed (the paper uses
+5,850 probes per minute for everyone) and the number of concurrent failures
+grows.  The reproduced claim: deTector's accuracy stays high and its false
+positives stay low as failures multiply, while both baselines degrade.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines import BaselineConfig, NetNORADSystem, PingmeshSystem
+from ..localization import aggregate_metrics, evaluate_localization
+from ..monitor import ControllerConfig, DetectorSystem
+from ..simulation import FailureGenerator
+from ..topology import build_fattree
+from .common import ExperimentTable
+
+__all__ = ["run", "paper_reference_notes", "main", "DEFAULT_FAILURE_COUNTS"]
+
+DEFAULT_FAILURE_COUNTS: Tuple[int, ...] = (1, 2, 3, 4, 5)
+
+
+def run(
+    radix: int = 4,
+    probe_budget_per_minute: int = 5850,
+    failure_counts: Sequence[int] = DEFAULT_FAILURE_COUNTS,
+    trials: int = 12,
+    seed: int = 66,
+) -> ExperimentTable:
+    """Fix the probe budget and sweep the number of concurrent failures.
+
+    The budget covers *all* probes a system sends -- detection plus any
+    post-alarm localization round -- exactly as the paper accounts them.  The
+    baselines' detection rate is therefore calibrated down so that their total
+    (detection + Netbouncer/fbtracert) probes stay within the budget, which is
+    precisely the disadvantage of separating detection from localization.
+    """
+    topology = build_fattree(radix)
+    link_ids = [link.link_id for link in topology.switch_links]
+    table = ExperimentTable(
+        title=(
+            f"Figure 6 (measured, Fattree({radix})) -- multiple failures at a fixed budget of "
+            f"~{probe_budget_per_minute} probes/minute"
+        ),
+        columns=["system", "failed_links", "accuracy_pct", "false_positive_pct", "probes_per_minute"],
+    )
+    per_window_budget = probe_budget_per_minute / 2.0  # 30-second windows
+
+    # The same failure scenarios are replayed for every system so the
+    # comparison is not confounded by different failure draws.
+    scenario_rng = np.random.default_rng(seed)
+    scenario_generator = FailureGenerator(topology, scenario_rng)
+    scenarios: Dict[int, List] = {
+        count: [scenario_generator.generate(count) for _ in range(trials)]
+        for count in failure_counts
+    }
+
+    # deTector: translate the budget into a per-pinger sending frequency.
+    probe_rng = np.random.default_rng(seed)
+    sizing_system = DetectorSystem(topology, probe_rng, ControllerConfig(alpha=3, beta=1))
+    sizing_cycle = sizing_system.run_controller_cycle()
+    num_pingers = max(sizing_cycle.num_pingers, 1)
+    window_seconds = sizing_cycle.pinglists[next(iter(sizing_cycle.pinglists))].report_interval_seconds
+    detector_frequency = max(1.0, per_window_budget / (num_pingers * window_seconds))
+
+    for count in failure_counts:
+        rng = np.random.default_rng(seed + count)
+        system = DetectorSystem(
+            topology,
+            rng,
+            ControllerConfig(
+                alpha=3,
+                beta=1,
+                probes_per_second=detector_frequency,
+                loss_confirmation_probes=0,  # exact budget accounting
+            ),
+        )
+        system.run_controller_cycle()
+        metrics = []
+        probes = []
+        for scenario in scenarios[count]:
+            outcome = system.run_window(scenario)
+            metrics.append(outcome.metrics)
+            probes.append(outcome.probes_sent)
+        aggregated = aggregate_metrics(metrics)
+        table.add_row(
+            system="deTector",
+            failed_links=count,
+            accuracy_pct=100.0 * aggregated["accuracy"],
+            false_positive_pct=100.0 * aggregated["false_positive_ratio"],
+            probes_per_minute=float(np.mean(probes)) * 2.0,
+        )
+
+    # Baselines: split the same window budget between detection and the
+    # post-alarm localization round (detection_share below), and enforce the
+    # total with a hard cap -- once it is spent, remaining paths go untraced.
+    for name, factory in (
+        ("Pingmesh+Netbouncer", PingmeshSystem),
+        ("NetNORAD+fbtracert", NetNORADSystem),
+    ):
+        probes_per_pair = _detection_probes_per_pair(
+            factory, topology, per_window_budget, detection_share=0.6, seed=seed
+        )
+        for count in failure_counts:
+            rng = np.random.default_rng(seed + count)
+            baseline = factory(
+                topology,
+                rng,
+                BaselineConfig(
+                    probes_per_pair=probes_per_pair,
+                    probe_budget_per_window=int(per_window_budget),
+                ),
+            )
+            metrics = []
+            probes = []
+            for scenario in scenarios[count]:
+                outcome = baseline.run_window(scenario)
+                metrics.append(
+                    evaluate_localization(
+                        scenario.bad_link_ids, outcome.suspected_links, link_ids
+                    )
+                )
+                probes.append(outcome.total_probes)
+            aggregated = aggregate_metrics(metrics)
+            table.add_row(
+                system=name,
+                failed_links=count,
+                accuracy_pct=100.0 * aggregated["accuracy"],
+                false_positive_pct=100.0 * aggregated["false_positive_ratio"],
+                probes_per_minute=float(np.mean(probes)) * 2.0,
+            )
+
+    table.add_note(
+        "the budget covers detection plus localization probes for every system; the baselines' "
+        "detection rate is calibrated down to make room for their post-alarm round, which is how the "
+        "paper accounts probe overhead."
+    )
+    table.add_note("all systems replay identical failure scenarios per failure count.")
+    return table
+
+
+def _detection_probes_per_pair(
+    factory,
+    topology,
+    per_window_budget: float,
+    detection_share: float,
+    seed: int,
+) -> int:
+    """Detection probes per pair such that detection uses ``detection_share`` of the budget.
+
+    The remainder of the budget is reserved for the post-alarm localization
+    round; the hard ``probe_budget_per_window`` cap then guarantees the system
+    never exceeds the overall budget regardless of how many pairs trip.
+    """
+    rng = np.random.default_rng(seed)
+    sizing_baseline = factory(topology, rng, BaselineConfig())
+    num_pairs = max(len(sizing_baseline.monitored_pairs()), 1)
+    return max(1, int(per_window_budget * detection_share // num_pairs))
+
+
+def paper_reference_notes() -> List[str]:
+    """The qualitative anchors for Fig. 6 (a plot in the paper)."""
+    return [
+        "At a fixed 5,850 probes/minute, deTector keeps much higher accuracy and lower false positives "
+        "than Pingmesh and NetNORAD as the number of concurrent failures grows.",
+        "deTector also detects and localizes ~30 seconds faster because it needs no extra localization round.",
+    ]
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    for note in paper_reference_notes():
+        print(f"paper: {note}")
+    print()
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

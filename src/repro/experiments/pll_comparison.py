@@ -1,0 +1,110 @@
+"""§5.3 claim -- PLL vs. Tomo, SCORE and OMP on the same probe matrix.
+
+The paper reports (details in its technical report) that, given the same probe
+matrix, PLL achieves ~2% higher accuracy, ~2% lower false positives and runs
+an order of magnitude faster than the other localization algorithms.  This
+harness reproduces the comparison on a scaled-down Fattree with the simulated
+failure mix.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import PMCOptions, construct_probe_matrix
+from ..localization import (
+    OMPLocalizer,
+    PLLLocalizer,
+    ScoreLocalizer,
+    TomoLocalizer,
+    aggregate_metrics,
+    evaluate_localization,
+    preprocess_observations,
+)
+from ..routing import RoutingMatrix, enumerate_candidate_paths
+from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator
+from ..topology import build_fattree
+from .common import ExperimentTable
+
+__all__ = ["run", "paper_reference_notes", "main"]
+
+
+def run(
+    radix: int = 6,
+    alpha: int = 3,
+    beta: int = 1,
+    trials: int = 20,
+    failures_per_trial: int = 2,
+    probes_per_path: int = 120,
+    seed: int = 553,
+) -> ExperimentTable:
+    """Run all four localizers on identical observations and compare them."""
+    topology = build_fattree(radix)
+    paths = enumerate_candidate_paths(topology, ordered=False)
+    routing_matrix = RoutingMatrix(topology, paths)
+    probe_matrix = construct_probe_matrix(
+        routing_matrix, PMCOptions(alpha=alpha, beta=beta)
+    ).probe_matrix
+
+    localizers = [PLLLocalizer(), TomoLocalizer(), ScoreLocalizer(), OMPLocalizer()]
+    metrics: Dict[str, List] = {loc.name: [] for loc in localizers}
+    runtimes: Dict[str, List[float]] = {loc.name: [] for loc in localizers}
+
+    rng = np.random.default_rng(seed)
+    generator = FailureGenerator(topology, rng)
+    for _ in range(trials):
+        scenario = generator.generate(failures_per_trial)
+        simulator = ProbeSimulator(topology, scenario, rng)
+        observations = simulator.observe_probe_matrix(
+            probe_matrix, ProbeConfig(probes_per_path=probes_per_path)
+        )
+        cleaned = preprocess_observations(probe_matrix, observations)
+        for localizer in localizers:
+            verdict = localizer.localize(probe_matrix, cleaned.observations)
+            metrics[localizer.name].append(
+                evaluate_localization(
+                    scenario.bad_link_ids, verdict.suspected_links, probe_matrix.link_ids
+                )
+            )
+            runtimes[localizer.name].append(verdict.elapsed_seconds)
+
+    table = ExperimentTable(
+        title=(
+            f"PLL vs baselines (measured, Fattree({radix}), alpha={alpha}, beta={beta}, "
+            f"{failures_per_trial} failures/trial)"
+        ),
+        columns=["algorithm", "accuracy_pct", "false_positive_pct", "mean_runtime_ms"],
+    )
+    for localizer in localizers:
+        aggregated = aggregate_metrics(metrics[localizer.name])
+        table.add_row(
+            algorithm=localizer.name,
+            accuracy_pct=100.0 * aggregated["accuracy"],
+            false_positive_pct=100.0 * aggregated["false_positive_ratio"],
+            mean_runtime_ms=1000.0 * float(np.mean(runtimes[localizer.name])),
+        )
+    table.add_note(
+        "paper claim: same probe matrix -> PLL ~2% more accurate, ~2% fewer false positives, and an "
+        "order of magnitude faster (sub-second on an 82,944-link DCN)."
+    )
+    return table
+
+
+def paper_reference_notes() -> List[str]:
+    return [
+        "Given the same probe matrix, PLL achieves ~2% higher accuracy and ~2% lower false positives "
+        "than Tomo / SCORE / OMP, and is about an order of magnitude faster.",
+    ]
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    for note in paper_reference_notes():
+        print(f"paper: {note}")
+    print()
+    run().print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,129 @@
+"""Run every experiment harness in one go and collect the outputs.
+
+Used by ``python -m repro experiment all`` and by release checklists: it runs
+each table/figure harness at a chosen scale, writes the plain-text and CSV
+renderings to an output directory and returns the tables for programmatic
+inspection.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from . import figure4, figure5, figure6, pll_comparison, table2, table3, table4, table5
+from .common import ExperimentTable
+
+__all__ = ["ExperimentRun", "ExperimentSuite", "default_suite", "run_all"]
+
+
+@dataclass(frozen=True)
+class ExperimentRun:
+    """One completed experiment: its table plus how long it took."""
+
+    name: str
+    table: ExperimentTable
+    elapsed_seconds: float
+
+
+@dataclass
+class ExperimentSuite:
+    """A named set of experiment callables, each producing an ExperimentTable."""
+
+    name: str
+    experiments: Dict[str, Callable[[], ExperimentTable]] = field(default_factory=dict)
+
+    def add(self, name: str, runner: Callable[[], ExperimentTable]) -> None:
+        self.experiments[name] = runner
+
+    def names(self) -> List[str]:
+        return list(self.experiments)
+
+
+def default_suite(scale: str = "quick") -> ExperimentSuite:
+    """The standard suite covering every table and figure.
+
+    ``scale="quick"`` finishes in a few minutes on a laptop; ``scale="full"``
+    uses larger scaled-down instances and more trials (tens of minutes) for
+    numbers closer to the ones recorded in EXPERIMENTS.md.
+    """
+    if scale == "quick":
+        suite = ExperimentSuite(name="quick")
+        suite.add("table2", lambda: table2.run())
+        suite.add("table3", lambda: table3.run())
+        suite.add("table4", lambda: table4.run(radix=4, trials=5, probes_per_path=80,
+                                               alpha_beta=((1, 0), (2, 0), (1, 1)),
+                                               failure_counts=(1, 2)))
+        suite.add("table5", lambda: table5.run(radix=6, beta=2, trials=4,
+                                               failure_counts=(1, 5), probes_per_path=100))
+        suite.add("figure4", lambda: figure4.run(radix=4, frequencies=(2, 10, 30),
+                                                 trials_per_frequency=6))
+        suite.add("figure5", lambda: figure5.run(radix=4, trials=6,
+                                                 detector_frequencies=(2, 10),
+                                                 baseline_probes_per_pair=(5, 20)))
+        suite.add("figure6", lambda: figure6.run(radix=4, trials=6, failure_counts=(1, 3, 5)))
+        suite.add("pll_comparison", lambda: pll_comparison.run(radix=6, trials=10))
+        return suite
+    if scale == "full":
+        suite = ExperimentSuite(name="full")
+        suite.add("table2", lambda: table2.run(instances=table2.default_instances("medium")))
+        suite.add("table3", lambda: table3.run(instances=table3.default_instances("medium")))
+        suite.add("table4", lambda: table4.run(radix=6, trials=10, probes_per_path=120))
+        suite.add("table5", lambda: table5.run(radix=6, beta=2, trials=10, probes_per_path=150))
+        suite.add("figure4", lambda: figure4.run(radix=4, trials_per_frequency=12))
+        suite.add("figure5", lambda: figure5.run(radix=4, trials=12))
+        suite.add("figure6", lambda: figure6.run(radix=4, trials=12))
+        suite.add("pll_comparison", lambda: pll_comparison.run(radix=6, trials=25))
+        return suite
+    raise ValueError(f"unknown scale {scale!r}; use 'quick' or 'full'")
+
+
+def run_all(
+    suite: Optional[ExperimentSuite] = None,
+    output_dir: Optional[str] = None,
+    only: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+) -> List[ExperimentRun]:
+    """Run (a subset of) a suite, optionally writing text/CSV outputs.
+
+    Parameters
+    ----------
+    suite:
+        The experiment suite; defaults to :func:`default_suite` at "quick" scale.
+    output_dir:
+        When given, ``<name>.txt`` (pretty table) and ``<name>.csv`` files are
+        written there.
+    only:
+        Restrict to the named experiments.
+    verbose:
+        Print progress and the rendered tables as they complete.
+    """
+    suite = suite or default_suite()
+    selected = list(suite.experiments.items())
+    if only is not None:
+        wanted = set(only)
+        unknown = wanted - set(suite.experiments)
+        if unknown:
+            raise ValueError(f"unknown experiments requested: {sorted(unknown)}")
+        selected = [(name, runner) for name, runner in selected if name in wanted]
+
+    output_path = Path(output_dir) if output_dir is not None else None
+    if output_path is not None:
+        output_path.mkdir(parents=True, exist_ok=True)
+
+    runs: List[ExperimentRun] = []
+    for name, runner in selected:
+        start = time.perf_counter()
+        table = runner()
+        elapsed = time.perf_counter() - start
+        runs.append(ExperimentRun(name=name, table=table, elapsed_seconds=elapsed))
+        if verbose:
+            print(f"[{suite.name}] {name} finished in {elapsed:.1f} s")
+            print(table.render())
+            print()
+        if output_path is not None:
+            (output_path / f"{name}.txt").write_text(table.render() + "\n", encoding="utf-8")
+            table.write_csv(output_path / f"{name}.csv")
+    return runs

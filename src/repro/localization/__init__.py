@@ -1,0 +1,42 @@
+"""Loss localization: the PLL algorithm, its baselines and evaluation metrics."""
+
+from .classifier import LinkDiagnosis, LossPattern, LossPatternClassifier
+from .latency import RTTObservationAdapter, RTTThresholdConfig
+from .metrics import ConfusionCounts, aggregate_metrics, evaluate_localization
+from .observations import (
+    LocalizationResult,
+    ObservationSet,
+    PathObservation,
+    merge_observations,
+)
+from .omp import OMPConfig, OMPLocalizer
+from .pll import PLLConfig, PLLLocalizer
+from .preprocess import PreprocessConfig, PreprocessReport, preprocess_observations
+from .score import ScoreConfig, ScoreLocalizer
+from .tomo import TomoConfig, TomoLocalizer
+
+__all__ = [
+    "PathObservation",
+    "ObservationSet",
+    "LocalizationResult",
+    "merge_observations",
+    "PreprocessConfig",
+    "PreprocessReport",
+    "preprocess_observations",
+    "PLLConfig",
+    "PLLLocalizer",
+    "TomoConfig",
+    "TomoLocalizer",
+    "ScoreConfig",
+    "ScoreLocalizer",
+    "OMPConfig",
+    "OMPLocalizer",
+    "ConfusionCounts",
+    "evaluate_localization",
+    "aggregate_metrics",
+    "LossPattern",
+    "LinkDiagnosis",
+    "LossPatternClassifier",
+    "RTTThresholdConfig",
+    "RTTObservationAdapter",
+]

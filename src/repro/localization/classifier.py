@@ -1,0 +1,187 @@
+"""Loss-pattern classification for suspected links (§7 "Loss diagnosis").
+
+The paper leaves root-cause diagnosis as future work but observes that the
+four loss patterns -- full loss, deterministic partial loss (blackholes),
+random partial loss and congestion-induced loss -- "exhibit different loss
+characteristics" and could be told apart to narrow the diagnosis scope.  This
+module implements that extension with simple, interpretable statistics over
+the per-path observations of a suspected link:
+
+* **full loss**: every probe on every path over the link is lost,
+* **deterministic partial loss**: losses are *bimodal across flows* -- the
+  per-path loss rates cluster near 0 or near 1 when split per source port
+  (blackholed flows lose everything, others nothing).  Without per-port
+  counters we use the across-path dispersion: some paths lose (almost)
+  everything while others lose (almost) nothing, or paths sit at intermediate
+  rates that are *stable* across paths (the blackholed share of the port loop),
+* **random partial loss**: per-path loss rates are similar, strictly between
+  0 and 1, and consistent with binomial sampling noise around a common rate,
+* **congestion**: like random loss but concentrated on the link's busiest
+  paths and at low rates; flagged only when utilisation hints are provided.
+
+The classifier returns a label and a confidence so operators (or an automated
+runbook) can pick the next diagnostic step, e.g. "check for misconfigured
+rules" for blackholes vs "check optics / CRC counters" for random loss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import ProbeMatrix
+from .observations import ObservationSet
+
+__all__ = ["LossPattern", "LinkDiagnosis", "LossPatternClassifier"]
+
+
+class LossPattern(str, Enum):
+    """The loss classes of §6.2 plus congestion, as discussed in §7."""
+
+    FULL = "full"
+    DETERMINISTIC_PARTIAL = "deterministic_partial"
+    RANDOM_PARTIAL = "random_partial"
+    CONGESTION = "congestion"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class LinkDiagnosis:
+    """Classification outcome for one suspected link."""
+
+    link_id: int
+    pattern: LossPattern
+    confidence: float
+    mean_loss_rate: float
+    per_path_loss_rates: Tuple[float, ...]
+    hint: str
+
+    def describe(self) -> str:
+        return (
+            f"link {self.link_id}: {self.pattern.value} "
+            f"(confidence {self.confidence:.0%}, mean loss {self.mean_loss_rate:.1%}) -- {self.hint}"
+        )
+
+
+_HINTS: Mapping[LossPattern, str] = {
+    LossPattern.FULL: "link or port down; check interface state and cabling",
+    LossPattern.DETERMINISTIC_PARTIAL: "packet blackhole; check forwarding rules and TCAM entries",
+    LossPattern.RANDOM_PARTIAL: "random corruption; check optics, CRC counters and buffer drops",
+    LossPattern.CONGESTION: "loss concentrated on busy paths; check queue occupancy and ECN marks",
+    LossPattern.UNKNOWN: "pattern unclear; collect another window of probes",
+}
+
+
+@dataclass(frozen=True)
+class LossPatternClassifier:
+    """Classifies the loss pattern of suspected links from path observations.
+
+    Attributes
+    ----------
+    full_loss_threshold:
+        Mean per-path loss rate above which the failure counts as full loss.
+    clean_path_threshold:
+        Loss rate below which a path counts as (effectively) clean.
+    congestion_rate_ceiling:
+        Congestion is only considered for mean loss rates below this value.
+    min_paths:
+        Minimum number of observed paths over the link for a confident verdict.
+    """
+
+    full_loss_threshold: float = 0.95
+    clean_path_threshold: float = 0.02
+    congestion_rate_ceiling: float = 0.05
+    min_paths: int = 2
+
+    def diagnose(
+        self,
+        probe_matrix: ProbeMatrix,
+        observations: ObservationSet,
+        suspected_links: Sequence[int],
+        link_utilization: Optional[Mapping[int, float]] = None,
+    ) -> List[LinkDiagnosis]:
+        """Classify every suspected link."""
+        return [
+            self.diagnose_link(probe_matrix, observations, link, link_utilization)
+            for link in suspected_links
+        ]
+
+    def diagnose_link(
+        self,
+        probe_matrix: ProbeMatrix,
+        observations: ObservationSet,
+        link_id: int,
+        link_utilization: Optional[Mapping[int, float]] = None,
+    ) -> LinkDiagnosis:
+        """Classify one suspected link from the loss rates of its probe paths."""
+        rates: List[float] = []
+        for path_index in probe_matrix.paths_through(link_id):
+            observation = observations.get(path_index)
+            if observation is not None and observation.sent > 0:
+                rates.append(observation.loss_rate)
+        if len(rates) < max(self.min_paths, 1):
+            return self._verdict(link_id, LossPattern.UNKNOWN, 0.3, rates)
+
+        mean_rate = sum(rates) / len(rates)
+        lossy_rates = [r for r in rates if r > self.clean_path_threshold]
+        clean = [r for r in rates if r <= self.clean_path_threshold]
+
+        if mean_rate >= self.full_loss_threshold:
+            return self._verdict(link_id, LossPattern.FULL, min(1.0, mean_rate), rates)
+        if not lossy_rates:
+            return self._verdict(link_id, LossPattern.UNKNOWN, 0.4, rates)
+
+        # Dispersion of the lossy paths' rates: blackholes produce either a
+        # bimodal clean/lossy split or a tight cluster at the blackholed
+        # fraction of the port loop; random loss produces rates consistent
+        # with binomial noise around one common probability.
+        spread = _coefficient_of_variation(lossy_rates)
+        bimodal = bool(clean) and all(r >= 0.5 for r in lossy_rates)
+
+        utilization_hint = 0.0
+        if link_utilization is not None:
+            utilization_hint = float(link_utilization.get(link_id, 0.0))
+
+        if bimodal:
+            confidence = 0.6 + 0.4 * min(1.0, len(clean) / len(rates) + 0.25)
+            return self._verdict(
+                link_id, LossPattern.DETERMINISTIC_PARTIAL, min(confidence, 0.95), rates
+            )
+        if mean_rate <= self.congestion_rate_ceiling and utilization_hint >= 0.7:
+            return self._verdict(link_id, LossPattern.CONGESTION, 0.7, rates)
+        if spread <= 0.6:
+            confidence = 0.9 - min(0.3, spread / 2)
+            return self._verdict(link_id, LossPattern.RANDOM_PARTIAL, confidence, rates)
+        # High dispersion without a clean/lossy split: most consistent with a
+        # blackhole whose match set overlaps the probe port loop unevenly.
+        return self._verdict(link_id, LossPattern.DETERMINISTIC_PARTIAL, 0.55, rates)
+
+    def _verdict(
+        self,
+        link_id: int,
+        pattern: LossPattern,
+        confidence: float,
+        rates: Sequence[float],
+    ) -> LinkDiagnosis:
+        mean_rate = sum(rates) / len(rates) if rates else 0.0
+        return LinkDiagnosis(
+            link_id=link_id,
+            pattern=pattern,
+            confidence=max(0.0, min(1.0, confidence)),
+            mean_loss_rate=mean_rate,
+            per_path_loss_rates=tuple(rates),
+            hint=_HINTS[pattern],
+        )
+
+
+def _coefficient_of_variation(values: Sequence[float]) -> float:
+    """Standard deviation over mean; 0.0 for degenerate inputs."""
+    if not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 0.0
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    return math.sqrt(variance) / mean

@@ -1,0 +1,105 @@
+"""Latency-spike detection: treating a slow RTT as a packet loss (§1).
+
+The paper focuses on packet loss but notes that deTector "can also handle
+latency issues by treating a round trip time (RTT) larger than a threshold as
+a packet loss".  This module implements exactly that adapter: per-path RTT
+samples are thresholded into the same ``(sent, lost)`` observations PLL
+consumes, so a congested or slow link is localized with the unchanged
+localization pipeline.
+
+The implementation also reproduces the 100 ms response timeout of §6.1: an RTT
+above the timeout would have been counted as a loss by the pinger anyway, so
+the adapter's threshold can only be tighter than the timeout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+from ..core import ProbeMatrix
+from .observations import ObservationSet, PathObservation
+
+__all__ = ["RTTThresholdConfig", "RTTObservationAdapter"]
+
+
+@dataclass(frozen=True)
+class RTTThresholdConfig:
+    """How RTT samples are converted into loss-equivalent observations.
+
+    Attributes
+    ----------
+    threshold_us:
+        RTT above this value counts as a "loss" (a user-perceptible latency
+        spike).  Choose it from the fabric's baseline RTT distribution, e.g.
+        a few times the p99 of a healthy path.
+    timeout_us:
+        The pinger's response timeout (100 ms in the paper).  Samples above it
+        are losses regardless of the threshold; the threshold may not exceed
+        the timeout.
+    """
+
+    threshold_us: float = 2_000.0
+    timeout_us: float = 100_000.0
+
+    def __post_init__(self) -> None:
+        if self.threshold_us <= 0:
+            raise ValueError("threshold_us must be positive")
+        if self.timeout_us < self.threshold_us:
+            raise ValueError("timeout_us must be >= threshold_us")
+
+    def is_spike(self, rtt_us: float) -> bool:
+        return rtt_us > self.threshold_us
+
+
+class RTTObservationAdapter:
+    """Converts per-path RTT samples into PLL-compatible observations."""
+
+    def __init__(self, config: Optional[RTTThresholdConfig] = None):
+        self.config = config or RTTThresholdConfig()
+
+    def path_observation(
+        self, path_index: int, rtt_samples_us: Sequence[float]
+    ) -> PathObservation:
+        """Threshold one path's RTT samples into a ``(sent, lost)`` observation."""
+        sent = len(rtt_samples_us)
+        lost = sum(1 for rtt in rtt_samples_us if self.config.is_spike(rtt))
+        return PathObservation(path_index=path_index, sent=sent, lost=lost)
+
+    def observations(
+        self,
+        probe_matrix: ProbeMatrix,
+        rtt_samples_by_path: Mapping[int, Sequence[float]],
+    ) -> ObservationSet:
+        """Threshold every path's samples; paths without samples are skipped.
+
+        The result plugs straight into :class:`~repro.localization.PLLLocalizer`
+        (optionally after the usual pre-processing), so latency spikes are
+        localized exactly like packet losses.
+        """
+        observations = ObservationSet()
+        for path_index, samples in rtt_samples_by_path.items():
+            if path_index < 0 or path_index >= probe_matrix.num_paths:
+                raise KeyError(f"path index {path_index} outside the probe matrix")
+            if not len(samples):
+                continue
+            observations.add(self.path_observation(path_index, samples))
+        return observations
+
+    def baseline_threshold(
+        self, healthy_samples_us: Sequence[float], multiplier: float = 3.0
+    ) -> RTTThresholdConfig:
+        """Derive a threshold from healthy-path RTT samples (multiplier x max observed).
+
+        Convenience for operators: measure a healthy window, then monitor with
+        ``multiplier`` times the worst healthy RTT as the spike threshold.
+        """
+        if not len(healthy_samples_us):
+            raise ValueError("healthy_samples_us must not be empty")
+        if multiplier <= 1.0:
+            raise ValueError("multiplier must be > 1")
+        threshold = multiplier * max(healthy_samples_us)
+        return RTTThresholdConfig(
+            threshold_us=min(threshold, self.config.timeout_us),
+            timeout_us=self.config.timeout_us,
+        )

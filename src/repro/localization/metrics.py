@@ -1,0 +1,119 @@
+"""Evaluation metrics for loss localization, as defined in §5.3 / §6.4.
+
+* **accuracy** (true positive ratio): bad links correctly identified as bad,
+  over all truly bad links;
+* **false positive ratio**: good links incorrectly identified as bad, over all
+  identified links (correctly plus incorrectly identified);
+* **false negative ratio**: bad links incorrectly identified as good, over all
+  truly bad links.
+
+The paper reports all three (Tables 4-5, Figs. 4-6); precision is included as
+a convenience even though the paper does not quote it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["ConfusionCounts", "evaluate_localization", "aggregate_metrics"]
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Link-level confusion counts plus the paper's derived ratios."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+    true_negatives: int
+
+    @property
+    def accuracy(self) -> float:
+        """True positive ratio: TP / (TP + FN); 1.0 when there were no bad links."""
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 1.0
+
+    @property
+    def false_positive_ratio(self) -> float:
+        """FP over all identified links: FP / (TP + FP); 0.0 when nothing was identified."""
+        denominator = self.true_positives + self.false_positives
+        return self.false_positives / denominator if denominator else 0.0
+
+    @property
+    def false_negative_ratio(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.false_negatives / denominator if denominator else 0.0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 1.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "tp": self.true_positives,
+            "fp": self.false_positives,
+            "fn": self.false_negatives,
+            "tn": self.true_negatives,
+            "accuracy": self.accuracy,
+            "false_positive_ratio": self.false_positive_ratio,
+            "false_negative_ratio": self.false_negative_ratio,
+            "precision": self.precision,
+        }
+
+
+def evaluate_localization(
+    true_bad_links: Iterable[int],
+    suspected_links: Iterable[int],
+    all_links: Iterable[int],
+) -> ConfusionCounts:
+    """Compare a localizer's verdict against ground truth.
+
+    Parameters
+    ----------
+    true_bad_links:
+        Link ids that were actually failed in the scenario.
+    suspected_links:
+        Link ids the localizer reported.
+    all_links:
+        The full link universe (needed for the true-negative count).
+    """
+    truth = set(true_bad_links)
+    predicted = set(suspected_links)
+    universe = set(all_links)
+    if not truth <= universe:
+        raise ValueError("true_bad_links contains links outside the universe")
+    if not predicted <= universe:
+        raise ValueError("suspected_links contains links outside the universe")
+
+    tp = len(truth & predicted)
+    fp = len(predicted - truth)
+    fn = len(truth - predicted)
+    tn = len(universe) - tp - fp - fn
+    return ConfusionCounts(
+        true_positives=tp,
+        false_positives=fp,
+        false_negatives=fn,
+        true_negatives=tn,
+    )
+
+
+def aggregate_metrics(counts: Sequence[ConfusionCounts]) -> Dict[str, float]:
+    """Average the derived ratios over many trials (how the tables report them)."""
+    if not counts:
+        return {
+            "accuracy": 1.0,
+            "false_positive_ratio": 0.0,
+            "false_negative_ratio": 0.0,
+            "precision": 1.0,
+            "trials": 0,
+        }
+    n = len(counts)
+    return {
+        "accuracy": sum(c.accuracy for c in counts) / n,
+        "false_positive_ratio": sum(c.false_positive_ratio for c in counts) / n,
+        "false_negative_ratio": sum(c.false_negative_ratio for c in counts) / n,
+        "precision": sum(c.precision for c in counts) / n,
+        "trials": n,
+    }

@@ -1,0 +1,147 @@
+"""Loss observations: the input to every localization algorithm.
+
+After each 30-second aggregation window a pinger reports, for every probe
+path it owns, how many probes were sent and how many were lost.  The
+diagnoser merges the reports of all pingers into one observation per probe
+matrix row; that merged view is what the localization algorithms consume
+(§5.1: data is of the form ``(path, number of losses)`` after pre-processing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["PathObservation", "ObservationSet", "LocalizationResult", "merge_observations"]
+
+
+@dataclass(frozen=True)
+class PathObservation:
+    """Probe outcome for one probe-matrix path over one aggregation window."""
+
+    path_index: int
+    sent: int
+    lost: int
+
+    def __post_init__(self) -> None:
+        if self.sent < 0 or self.lost < 0:
+            raise ValueError("sent and lost must be non-negative")
+        if self.lost > self.sent:
+            raise ValueError(
+                f"path {self.path_index}: lost ({self.lost}) exceeds sent ({self.sent})"
+            )
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of probes lost (0.0 when nothing was sent)."""
+        return self.lost / self.sent if self.sent else 0.0
+
+    @property
+    def is_lossy(self) -> bool:
+        return self.lost > 0
+
+
+class ObservationSet:
+    """A collection of per-path observations keyed by probe-matrix path index."""
+
+    def __init__(self, observations: Iterable[PathObservation] = ()):
+        self._by_path: Dict[int, PathObservation] = {}
+        for obs in observations:
+            self.add(obs)
+
+    def add(self, observation: PathObservation) -> None:
+        existing = self._by_path.get(observation.path_index)
+        if existing is None:
+            self._by_path[observation.path_index] = observation
+        else:
+            self._by_path[observation.path_index] = PathObservation(
+                path_index=observation.path_index,
+                sent=existing.sent + observation.sent,
+                lost=existing.lost + observation.lost,
+            )
+
+    def __len__(self) -> int:
+        return len(self._by_path)
+
+    def __iter__(self):
+        return iter(sorted(self._by_path.values(), key=lambda o: o.path_index))
+
+    def __contains__(self, path_index: int) -> bool:
+        return path_index in self._by_path
+
+    def get(self, path_index: int) -> Optional[PathObservation]:
+        return self._by_path.get(path_index)
+
+    def path_indices(self) -> List[int]:
+        return sorted(self._by_path)
+
+    def lossy_paths(self) -> List[int]:
+        """Paths with at least one lost probe."""
+        return sorted(i for i, obs in self._by_path.items() if obs.is_lossy)
+
+    def losses(self) -> Dict[int, int]:
+        """Map path index -> number of lost probes (lossy paths only)."""
+        return {i: obs.lost for i, obs in self._by_path.items() if obs.is_lossy}
+
+    def total_sent(self) -> int:
+        return sum(obs.sent for obs in self._by_path.values())
+
+    def total_lost(self) -> int:
+        return sum(obs.lost for obs in self._by_path.values())
+
+    def restrict(self, path_indices: Iterable[int]) -> "ObservationSet":
+        """The subset of observations for the given paths (for decomposition)."""
+        wanted = set(path_indices)
+        return ObservationSet(
+            obs for i, obs in self._by_path.items() if i in wanted
+        )
+
+
+def merge_observations(reports: Iterable[ObservationSet]) -> ObservationSet:
+    """Merge the per-pinger reports of one window into a single view.
+
+    Several pingers may probe the same path (each path is distributed to at
+    least two pingers for fault tolerance, §3.1); their counts simply add up.
+    """
+    merged = ObservationSet()
+    for report in reports:
+        for obs in report:
+            merged.add(obs)
+    return merged
+
+
+@dataclass
+class LocalizationResult:
+    """Output of a localization algorithm.
+
+    Attributes
+    ----------
+    suspected_links:
+        Link ids the algorithm blames for the observed losses, most suspicious
+        first.
+    estimated_loss_rates:
+        Link id -> estimated loss rate for the suspected links (when the
+        algorithm provides an estimate).
+    unexplained_paths:
+        Lossy paths that no suspected link explains (normally empty; non-empty
+        indicates the observations are inconsistent with any small failure
+        set, e.g. because of noise filtered too aggressively).
+    elapsed_seconds:
+        Wall-clock time spent inside the algorithm (the paper quotes PLL at
+        under a second for an 82944-link DCN).
+    algorithm:
+        Human-readable name of the localizer that produced this result.
+    """
+
+    suspected_links: List[int]
+    estimated_loss_rates: Dict[int, float]
+    unexplained_paths: List[int]
+    elapsed_seconds: float
+    algorithm: str
+
+    @property
+    def num_suspects(self) -> int:
+        return len(self.suspected_links)
+
+    def as_set(self) -> frozenset:
+        return frozenset(self.suspected_links)

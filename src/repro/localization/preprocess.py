@@ -1,0 +1,125 @@
+"""Observation pre-processing: outlier removal and noise filtering (§5.1).
+
+Two classes of observations must be removed before localization:
+
+* **Outliers** caused by bad pingers/responders (server down or rebooting
+  while probing): every path sourced at or targeted to an unhealthy server is
+  dropped.  Server health comes from the watchdog service.
+* **Normal-case noise**: links exhibit a benign background loss rate (1e-4 to
+  1e-5) due to transient congestion and bit errors.  Paths whose loss rate
+  (or absolute loss count) stays under a threshold are treated as healthy;
+  the paper uses a 1e-3 loss-ratio threshold following Pingmesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from ..core import ProbeMatrix
+from .observations import ObservationSet, PathObservation
+
+__all__ = ["PreprocessConfig", "PreprocessReport", "preprocess_observations"]
+
+
+@dataclass(frozen=True)
+class PreprocessConfig:
+    """Thresholds controlling which observations survive pre-processing.
+
+    Attributes
+    ----------
+    loss_ratio_threshold:
+        Minimum per-path loss ratio for the path to be considered lossy
+        (default 1e-3, the Pingmesh value quoted in §5.1).
+    min_losses:
+        Alternative absolute threshold: a path with at least this many lost
+        probes is kept even if its ratio is below ``loss_ratio_threshold``
+        (useful for short windows with few probes).  Set to ``None`` to rely
+        on the ratio alone.
+    min_probes_for_ratio:
+        A path needs at least this many probes before its loss *ratio* is
+        meaningful; below it only the absolute ``min_losses`` test applies.
+    """
+
+    loss_ratio_threshold: float = 1e-3
+    min_losses: Optional[int] = 3
+    min_probes_for_ratio: int = 10
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_ratio_threshold <= 1.0:
+            raise ValueError("loss_ratio_threshold must lie in [0, 1]")
+        if self.min_losses is not None and self.min_losses < 1:
+            raise ValueError("min_losses must be >= 1 when given")
+        if self.min_probes_for_ratio < 1:
+            raise ValueError("min_probes_for_ratio must be >= 1")
+
+    def path_is_lossy(self, observation: PathObservation) -> bool:
+        """Decide whether an observation indicates a genuine failure."""
+        if observation.lost == 0:
+            return False
+        if self.min_losses is not None and observation.lost >= self.min_losses:
+            return True
+        if observation.sent >= self.min_probes_for_ratio:
+            return observation.loss_rate >= self.loss_ratio_threshold
+        return False
+
+
+@dataclass
+class PreprocessReport:
+    """What pre-processing kept and what it removed."""
+
+    observations: ObservationSet
+    dropped_outlier_paths: List[int] = field(default_factory=list)
+    filtered_noise_paths: List[int] = field(default_factory=list)
+
+    @property
+    def lossy_paths(self) -> List[int]:
+        return self.observations.lossy_paths()
+
+
+def preprocess_observations(
+    probe_matrix: ProbeMatrix,
+    observations: ObservationSet,
+    config: Optional[PreprocessConfig] = None,
+    unhealthy_servers: Iterable[str] = (),
+) -> PreprocessReport:
+    """Apply §5.1 pre-processing and return the cleaned observation set.
+
+    Parameters
+    ----------
+    probe_matrix:
+        Needed to map paths to their endpoints for outlier removal.
+    observations:
+        Raw merged observations of one aggregation window.
+    config:
+        Thresholds; defaults to :class:`PreprocessConfig`.
+    unhealthy_servers:
+        Endpoints flagged by the watchdog (pingers or responders that were
+        down / rebooting during the window).  Paths touching them are removed
+        wholesale -- their losses say nothing about the network.
+    """
+    config = config or PreprocessConfig()
+    unhealthy = set(unhealthy_servers)
+
+    cleaned = ObservationSet()
+    dropped: List[int] = []
+    filtered: List[int] = []
+    for obs in observations:
+        path = probe_matrix.path(obs.path_index)
+        if path.src in unhealthy or path.dst in unhealthy:
+            dropped.append(obs.path_index)
+            continue
+        if obs.is_lossy and not config.path_is_lossy(obs):
+            # Background noise: keep the path but zero out its losses so it
+            # counts as evidence of health, exactly like a lossless path.
+            filtered.append(obs.path_index)
+            cleaned.add(
+                PathObservation(path_index=obs.path_index, sent=obs.sent, lost=0)
+            )
+            continue
+        cleaned.add(obs)
+    return PreprocessReport(
+        observations=cleaned,
+        dropped_outlier_paths=dropped,
+        filtered_noise_paths=filtered,
+    )

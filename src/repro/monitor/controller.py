@@ -1,0 +1,237 @@
+"""The deTector controller (§3.1, §6.1).
+
+Once per cycle (10 minutes in the paper) the controller
+
+1. reads the current topology and server health from the watchdog,
+2. runs PMC to construct the probe matrix,
+3. selects 2-4 pinger servers under every ToR switch,
+4. splits the probe matrix into per-pinger pinglists, giving every path to at
+   least two pingers for fault tolerance, and
+5. hands the pinglists to the pingers (XML over HTTP in the paper, direct
+   objects here -- the XML serialisation is still exercised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core import PMCOptions, PMCResult, ProbeMatrix, construct_probe_matrix
+from ..routing import Path, RoutingMatrix, enumerate_candidate_paths, walk_to_link_ids
+from ..topology import PathOrbits, Topology
+from .pinglist import Pinglist, PinglistEntry
+from .watchdog import Watchdog
+
+__all__ = ["ControllerConfig", "ControllerCycle", "Controller"]
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Controller tuning knobs.
+
+    Attributes
+    ----------
+    alpha, beta:
+        Coverage and identifiability targets handed to PMC.
+    pingers_per_tor:
+        How many servers under each ToR act as pingers (2-4 in the paper).
+    path_replication:
+        Every probe path is assigned to at least this many pingers under its
+        source ToR so a single pinger failure does not lose link coverage.
+    probes_per_second:
+        Default probe sending rate for the pinglists (10 pps in the paper).
+    loss_confirmation_probes:
+        How many times a pinger re-sends a probe whose response timed out to
+        confirm the loss pattern (2 in the paper, §3.1).  Set to 0 when an
+        experiment needs an exact probe budget.
+    cycle_seconds / report_interval_seconds:
+        Probe-matrix recomputation period and result aggregation window.
+    use_symmetry / use_lazy_update / use_decomposition:
+        PMC speed-ups to enable.
+    ordered_pairs:
+        Enumerate candidate paths for ordered ToR pairs (paper counting) or
+        unordered (default; both directions of a path probe the same links).
+    """
+
+    alpha: int = 3
+    beta: int = 1
+    pingers_per_tor: int = 2
+    path_replication: int = 2
+    probes_per_second: float = 10.0
+    loss_confirmation_probes: int = 2
+    cycle_seconds: float = 600.0
+    report_interval_seconds: float = 30.0
+    use_symmetry: bool = False
+    use_lazy_update: bool = True
+    use_decomposition: bool = True
+    ordered_pairs: bool = False
+
+    def __post_init__(self) -> None:
+        if self.pingers_per_tor < 1:
+            raise ValueError("pingers_per_tor must be >= 1")
+        if self.path_replication < 1:
+            raise ValueError("path_replication must be >= 1")
+        if self.probes_per_second <= 0:
+            raise ValueError("probes_per_second must be positive")
+        if self.loss_confirmation_probes < 0:
+            raise ValueError("loss_confirmation_probes must be non-negative")
+
+
+@dataclass
+class ControllerCycle:
+    """Everything produced by one controller cycle."""
+
+    version: int
+    probe_matrix: ProbeMatrix
+    pmc_result: PMCResult
+    pinger_assignment: Dict[str, List[str]]
+    pinglists: Dict[str, Pinglist]
+
+    @property
+    def num_pingers(self) -> int:
+        return len(self.pinglists)
+
+    def pinglist_for(self, server: str) -> Pinglist:
+        return self.pinglists[server]
+
+
+class Controller:
+    """Builds probe matrices and distributes pinglists."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: Optional[ControllerConfig] = None,
+        watchdog: Optional[Watchdog] = None,
+    ):
+        self.topology = topology
+        self.config = config or ControllerConfig()
+        self.watchdog = watchdog or Watchdog(topology)
+        self._version = 0
+
+    # --------------------------------------------------------------- PMC step
+    def compute_probe_matrix(self) -> PMCResult:
+        """Run PMC on the watchdog-filtered topology.
+
+        Paths are planned on the filtered topology (so they avoid known-bad
+        links), but the returned probe matrix is expressed in the *original*
+        topology's link ids, which is the frame of reference the simulator,
+        the diagnoser and the experiments share.
+        """
+        config = self.config
+        probe_topology = self.watchdog.probe_topology()
+        paths = enumerate_candidate_paths(probe_topology, ordered=config.ordered_pairs)
+        if probe_topology is not self.topology:
+            paths = [
+                Path(
+                    path_id=i,
+                    nodes=path.nodes,
+                    link_ids=walk_to_link_ids(self.topology, path.nodes),
+                    src=path.src,
+                    dst=path.dst,
+                    via=path.via,
+                )
+                for i, path in enumerate(paths)
+            ]
+            probe_topology = self.topology
+        routing_matrix = RoutingMatrix(probe_topology, paths)
+        options = PMCOptions(
+            alpha=config.alpha,
+            beta=config.beta,
+            use_decomposition=config.use_decomposition,
+            use_lazy_update=config.use_lazy_update,
+            use_symmetry=config.use_symmetry,
+        )
+        orbits = None
+        if config.use_symmetry:
+            orbits = PathOrbits.from_walks(probe_topology, [p.nodes for p in paths])
+        return construct_probe_matrix(routing_matrix, options, orbits=orbits)
+
+    # ----------------------------------------------------------- pinger step
+    def select_pingers(self) -> Dict[str, List[str]]:
+        """Choose pinger servers under every ToR switch.
+
+        ToRs without healthy servers (or topologies without servers at all,
+        e.g. BCube where servers are modelled as switches) fall back to using
+        the ToR node itself as the probing endpoint.
+        """
+        config = self.config
+        assignment: Dict[str, List[str]] = {}
+        for tor in self.topology.tor_switches:
+            healthy = self.watchdog.healthy_servers_under(tor.name)
+            if healthy:
+                assignment[tor.name] = healthy[: config.pingers_per_tor]
+            else:
+                assignment[tor.name] = [tor.name]
+        return assignment
+
+    # --------------------------------------------------------- pinglist step
+    def build_pinglists(
+        self,
+        probe_matrix: ProbeMatrix,
+        pinger_assignment: Mapping[str, Sequence[str]],
+    ) -> Dict[str, Pinglist]:
+        """Split the probe matrix rows into per-pinger pinglists."""
+        config = self.config
+        pinglists: Dict[str, Pinglist] = {}
+        for tor_name, pingers in pinger_assignment.items():
+            intra_rack = [
+                node.name
+                for node in self.topology.servers_under(tor_name)
+                if node.name not in pingers
+            ] if self.topology.node(tor_name).is_switch else []
+            for pinger in pingers:
+                pinglists[pinger] = Pinglist(
+                    version=self._version + 1,
+                    pinger_server=pinger,
+                    intra_rack_targets=tuple(intra_rack),
+                    probes_per_second=config.probes_per_second,
+                    cycle_seconds=config.cycle_seconds,
+                    report_interval_seconds=config.report_interval_seconds,
+                )
+
+        for path_index, path in enumerate(probe_matrix.paths):
+            pingers = list(pinger_assignment.get(path.src, []))
+            if not pingers:
+                continue
+            replication = min(config.path_replication, len(pingers))
+            # Rotate the starting pinger with the path index so load spreads
+            # evenly across the pingers of a rack.
+            start = path_index % len(pingers)
+            chosen = [pingers[(start + offset) % len(pingers)] for offset in range(replication)]
+            target = self._target_server(path.dst, path_index)
+            for pinger in chosen:
+                pinglists[pinger].entries.append(
+                    PinglistEntry(
+                        path_index=path_index,
+                        target_server=target,
+                        waypoint=path.via,
+                        node_walk=path.nodes,
+                    )
+                )
+        return pinglists
+
+    def _target_server(self, dst_tor: str, path_index: int) -> str:
+        """Pick the responder server under the destination ToR for a path."""
+        node = self.topology.node(dst_tor)
+        if not node.is_switch:
+            return dst_tor
+        servers = self.watchdog.healthy_servers_under(dst_tor)
+        if not servers:
+            return dst_tor
+        return servers[path_index % len(servers)]
+
+    # ------------------------------------------------------------------ cycle
+    def run_cycle(self) -> ControllerCycle:
+        """One full path-computation cycle."""
+        pmc_result = self.compute_probe_matrix()
+        pinger_assignment = self.select_pingers()
+        pinglists = self.build_pinglists(pmc_result.probe_matrix, pinger_assignment)
+        self._version += 1
+        return ControllerCycle(
+            version=self._version,
+            probe_matrix=pmc_result.probe_matrix,
+            pmc_result=pmc_result,
+            pinger_assignment=pinger_assignment,
+            pinglists=pinglists,
+        )

@@ -1,0 +1,119 @@
+"""The pinger module (§3.1, §6.1).
+
+Each pinger owns the probe paths its pinglist assigns to it.  During an
+aggregation window (30 seconds in the paper) it loops over its paths, sends
+source-routed UDP probes with varying source ports and DSCP values, counts
+losses (a probe unanswered within 100 ms is a loss) and posts an aggregate
+report to the diagnoser.
+
+The probing budget is expressed exactly as in the paper: the pinger sends
+``probes_per_second`` packets in total, looping over its pinglist, so each of
+its ``n`` paths receives about ``probes_per_second * window / n`` probes per
+window.  When a loss is detected the pinger optionally re-sends the same
+probe content to confirm the loss pattern (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..localization import ObservationSet, PathObservation
+from ..routing import Path
+from ..simulation import ProbeConfig, ProbeSimulator
+from .pinglist import Pinglist
+
+__all__ = ["PingerReport", "Pinger"]
+
+
+@dataclass
+class PingerReport:
+    """One pinger's aggregated results for one window (the HTTP POST payload)."""
+
+    pinger_server: str
+    window_seconds: float
+    observations: ObservationSet
+    probes_sent: int
+    probes_lost: int
+
+    @property
+    def loss_rate(self) -> float:
+        return self.probes_lost / self.probes_sent if self.probes_sent else 0.0
+
+
+class Pinger:
+    """Sends probes according to a pinglist and aggregates the outcomes."""
+
+    def __init__(
+        self,
+        pinglist: Pinglist,
+        paths_by_index: Dict[int, Path],
+        simulator: ProbeSimulator,
+        confirm_losses: int = 2,
+    ):
+        self.pinglist = pinglist
+        self._paths_by_index = paths_by_index
+        self._simulator = simulator
+        self._confirm_losses = confirm_losses
+
+    @property
+    def server_name(self) -> str:
+        return self.pinglist.pinger_server
+
+    # -------------------------------------------------------------- probing
+    def probes_per_path_per_window(self, window_seconds: Optional[float] = None) -> int:
+        """How many probes each owned path receives during one window."""
+        window = window_seconds or self.pinglist.report_interval_seconds
+        num_paths = max(self.pinglist.num_paths, 1)
+        budget = self.pinglist.probes_per_second * window
+        return max(1, int(budget // num_paths))
+
+    def run_window(self, window_seconds: Optional[float] = None) -> PingerReport:
+        """Probe every owned path for one aggregation window."""
+        window = window_seconds or self.pinglist.report_interval_seconds
+        per_path = self.probes_per_path_per_window(window)
+        low_port, high_port = self.pinglist.source_port_range
+        probe_config = ProbeConfig(
+            probes_per_path=per_path,
+            port_range=max(1, high_port - low_port + 1),
+            base_port=low_port,
+            destination_port=self.pinglist.destination_port,
+            dscp_values=self.pinglist.dscp_values,
+        )
+
+        observations = ObservationSet()
+        sent_total = 0
+        lost_total = 0
+        for entry in self.pinglist.entries:
+            path = self._paths_by_index[entry.path_index]
+            sent = per_path
+            lost = 0
+            for sequence in range(per_path):
+                packet = probe_config.packet_for(path, sequence)
+                delivered = self._simulator.round_trip(path, packet)
+                if not delivered:
+                    confirmed_lost = 1
+                    # Confirm the loss pattern by re-sending the same content.
+                    for _ in range(self._confirm_losses):
+                        sent += 1
+                        if not self._simulator.round_trip(path, packet):
+                            confirmed_lost += 1
+                    lost += confirmed_lost
+            observations.add(
+                PathObservation(path_index=entry.path_index, sent=sent, lost=lost)
+            )
+            sent_total += sent
+            lost_total += lost
+
+        return PingerReport(
+            pinger_server=self.server_name,
+            window_seconds=window,
+            observations=observations,
+            probes_sent=sent_total,
+            probes_lost=lost_total,
+        )
+
+    # ------------------------------------------------------------ accounting
+    def probes_per_window(self, window_seconds: Optional[float] = None) -> int:
+        """Nominal probe budget per window (excluding loss confirmations)."""
+        return self.probes_per_path_per_window(window_seconds) * self.pinglist.num_paths

@@ -1,0 +1,146 @@
+"""End-to-end deTector system: the testbed-in-a-box used by examples and experiments.
+
+:class:`DetectorSystem` wires the four components (controller, pingers,
+responders, diagnoser) around the probing simulator.  One call to
+:meth:`DetectorSystem.run_window` reproduces a full §3.2 cycle slice:
+
+* the controller's current probe matrix defines the pinglists,
+* every pinger probes its paths against the injected failure scenario,
+* the diagnoser merges the reports, runs PLL and produces alerts.
+
+Experiments evaluate the alerts against the scenario's ground truth with
+:func:`repro.localization.evaluate_localization`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import ProbeMatrix
+from ..localization import ConfusionCounts, PLLConfig, PreprocessConfig, evaluate_localization
+from ..simulation import FailureScenario, ProbeSimulator
+from ..topology import Topology
+from .controller import Controller, ControllerConfig, ControllerCycle
+from .diagnoser import Diagnoser, DiagnosisReport
+from .pinger import Pinger, PingerReport
+from .responder import Responder
+from .watchdog import Watchdog
+
+__all__ = ["WindowOutcome", "DetectorSystem"]
+
+
+@dataclass
+class WindowOutcome:
+    """Everything produced by one 30-second monitoring window."""
+
+    diagnosis: DiagnosisReport
+    pinger_reports: List[PingerReport]
+    probes_sent: int
+    metrics: Optional[ConfusionCounts] = None
+
+    @property
+    def suspected_links(self) -> List[int]:
+        return self.diagnosis.suspected_links
+
+
+class DetectorSystem:
+    """The complete monitoring system over a simulated data center."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        rng: np.random.Generator,
+        controller_config: Optional[ControllerConfig] = None,
+        pll_config: Optional[PLLConfig] = None,
+        preprocess_config: Optional[PreprocessConfig] = None,
+    ):
+        self.topology = topology
+        self.rng = rng
+        self.watchdog = Watchdog(topology)
+        self.controller = Controller(topology, controller_config, watchdog=self.watchdog)
+        self._pll_config = pll_config
+        self._preprocess_config = preprocess_config
+        self.cycle: Optional[ControllerCycle] = None
+        self.diagnoser: Optional[Diagnoser] = None
+        self.responders: Dict[str, Responder] = {}
+        self._simulator = ProbeSimulator(
+            topology, FailureScenario(description="no failures"), rng
+        )
+
+    # ------------------------------------------------------------------ cycle
+    def run_controller_cycle(self) -> ControllerCycle:
+        """Recompute the probe matrix and pinglists (the 10-minute cycle)."""
+        self.cycle = self.controller.run_cycle()
+        self.diagnoser = Diagnoser(
+            self.topology,
+            self.cycle.probe_matrix,
+            pll_config=self._pll_config,
+            preprocess_config=self._preprocess_config,
+            watchdog=self.watchdog,
+        )
+        self.responders = {
+            server.name: Responder(server_name=server.name)
+            for server in self.topology.servers
+        }
+        return self.cycle
+
+    @property
+    def probe_matrix(self) -> ProbeMatrix:
+        if self.cycle is None:
+            raise RuntimeError("run_controller_cycle() must be called first")
+        return self.cycle.probe_matrix
+
+    # ----------------------------------------------------------------- window
+    def inject_failures(self, scenario: FailureScenario) -> None:
+        """Install the failure scenario the next window will experience."""
+        self._simulator.set_scenario(scenario)
+
+    def run_window(
+        self,
+        scenario: Optional[FailureScenario] = None,
+        evaluate: bool = True,
+    ) -> WindowOutcome:
+        """Run one 30-second aggregation window end to end."""
+        if self.cycle is None or self.diagnoser is None:
+            self.run_controller_cycle()
+        if scenario is not None:
+            self.inject_failures(scenario)
+
+        paths_by_index = {
+            index: path for index, path in enumerate(self.probe_matrix.paths)
+        }
+        reports: List[PingerReport] = []
+        probes_sent = 0
+        for server, pinglist in self.cycle.pinglists.items():
+            if not self.watchdog.is_server_healthy(server):
+                continue  # a down pinger simply stops reporting
+            pinger = Pinger(
+                pinglist,
+                paths_by_index,
+                self._simulator,
+                confirm_losses=self.controller.config.loss_confirmation_probes,
+            )
+            report = pinger.run_window()
+            probes_sent += report.probes_sent
+            reports.append(report)
+            self.diagnoser.ingest(report)
+
+        diagnosis = self.diagnoser.run_window()
+        metrics = None
+        if evaluate:
+            truth = self._simulator.scenario.bad_link_ids
+            observable_truth = [
+                link for link in truth if self.probe_matrix.contains_link(link)
+            ]
+            metrics = evaluate_localization(
+                observable_truth, diagnosis.suspected_links, self.probe_matrix.link_ids
+            )
+        return WindowOutcome(
+            diagnosis=diagnosis,
+            pinger_reports=reports,
+            probes_sent=probes_sent,
+            metrics=metrics,
+        )

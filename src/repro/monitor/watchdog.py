@@ -1,0 +1,88 @@
+"""Watchdog service: server health tracking and failed-device bookkeeping.
+
+The controller consults the watchdog before every path-computation cycle so
+that probe paths avoid links and switches already known to be down, and the
+diagnoser uses it to discard observations from unhealthy pingers/responders
+(pre-processing outlier removal, §5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..topology import Topology
+
+__all__ = ["Watchdog"]
+
+
+@dataclass
+class Watchdog:
+    """Tracks server health and known-bad network elements.
+
+    The real service polls management agents; in this reproduction health is
+    set explicitly by experiments (e.g. "server X was rebooting during this
+    window") and consumed by the controller and the diagnoser.
+    """
+
+    topology: Topology
+    unhealthy_servers: Set[str] = field(default_factory=set)
+    failed_switches: Set[str] = field(default_factory=set)
+    failed_link_ids: Set[int] = field(default_factory=set)
+
+    # ----------------------------------------------------------- server health
+    def mark_server_unhealthy(self, server_name: str) -> None:
+        self.topology.node(server_name)  # validate
+        self.unhealthy_servers.add(server_name)
+
+    def mark_server_healthy(self, server_name: str) -> None:
+        self.unhealthy_servers.discard(server_name)
+
+    def is_server_healthy(self, server_name: str) -> bool:
+        return server_name not in self.unhealthy_servers
+
+    def healthy_servers_under(self, tor_name: str) -> List[str]:
+        """Healthy servers under a ToR, candidates for pinger placement."""
+        return [
+            node.name
+            for node in self.topology.servers_under(tor_name)
+            if node.name not in self.unhealthy_servers
+        ]
+
+    # ------------------------------------------------------- network elements
+    def report_failed_switch(self, switch_name: str) -> None:
+        self.topology.node(switch_name)  # validate
+        self.failed_switches.add(switch_name)
+
+    def report_failed_link(self, link_id: int) -> None:
+        self.topology.link(link_id)  # validate
+        self.failed_link_ids.add(link_id)
+
+    def clear_network_failures(self) -> None:
+        self.failed_switches.clear()
+        self.failed_link_ids.clear()
+
+    def probe_topology(self) -> Topology:
+        """The topology the controller should plan probe paths on.
+
+        Known-bad links and switches are removed so that no probe path is
+        planned across them (§6.1, footnote 4).  Symmetry information is
+        always computed on the original topology, exactly as the paper notes.
+        """
+        topology = self.topology
+        for switch in self.failed_switches:
+            topology = topology.without_node(switch)
+        if self.failed_link_ids:
+            if topology is self.topology:
+                topology = topology.without_links(self.failed_link_ids)
+            else:
+                # Link ids were re-densified by without_node; translate through
+                # endpoint names instead.
+                remaining = []
+                for link_id in self.failed_link_ids:
+                    original = self.topology.link(link_id)
+                    if topology.has_link(original.a, original.b):
+                        remaining.append(topology.link_between(original.a, original.b).link_id)
+                if remaining:
+                    topology = topology.without_links(remaining)
+        return topology

@@ -1,0 +1,376 @@
+"""Probe-path model and per-topology path enumeration.
+
+A *path* is the unit of probing in deTector: a walk between two ToR switches
+(or BCube servers) whose exact hops are pinned by source routing (IP-in-IP in
+the paper, explicit path objects here).  The link universe of the probe matrix
+is the set of inter-switch links; the path keeps
+
+* the full node walk (needed for symmetry signatures, pinger placement and
+  the latency model), and
+* the *set* of switch-link ids it traverses (needed by PMC and PLL -- both
+  reason about paths purely as link sets).
+
+The candidate path sets implemented here reproduce the "# of original paths"
+column of Table 2:
+
+* Fattree(k): every ordered ToR pair has one candidate path per core switch
+  (``k**2/4`` of them) -- ``T*(T-1)*k**2/4`` paths for ``T = k**2/2`` ToRs.
+* VL2(d_a, d_i, t): every ordered ToR pair has ``2 * d_a/2 * 2`` candidate
+  paths (source aggregation switch x intermediate switch x destination
+  aggregation switch).
+* BCube(n, k): every ordered server pair has ``k+1`` parallel paths built with
+  the digit-correcting ``BuildPathSet`` construction of the BCube paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..topology import (
+    BCubeTopology,
+    FatTreeTopology,
+    Tier,
+    Topology,
+    TopologyError,
+    VL2Topology,
+)
+
+__all__ = [
+    "Path",
+    "walk_to_link_ids",
+    "walk_link_sequence",
+    "enumerate_fattree_paths",
+    "enumerate_vl2_paths",
+    "enumerate_bcube_paths",
+    "enumerate_candidate_paths",
+    "enumerate_shortest_paths",
+]
+
+
+@dataclass(frozen=True)
+class Path:
+    """A pinned probe path between two endpoints.
+
+    Attributes
+    ----------
+    path_id:
+        Dense index inside the owning candidate set / routing matrix.
+    nodes:
+        The switch-level node walk, source first.  A node may appear twice
+        (an intra-pod path bounced off a core switch revisits its aggregation
+        switch), which is why ``link_ids`` is a set, not a sequence.
+    link_ids:
+        Frozen set of inter-switch link ids traversed (in either direction).
+    src, dst:
+        Endpoints (ToR switches for Fattree/VL2, servers for BCube).
+    via:
+        The pinned waypoint that disambiguates ECMP choices (core switch,
+        intermediate switch, or the digit-permutation label for BCube).
+    """
+
+    path_id: int
+    nodes: Tuple[str, ...]
+    link_ids: frozenset
+    src: str
+    dst: str
+    via: str = ""
+
+    def __len__(self) -> int:
+        return len(self.link_ids)
+
+    @property
+    def hop_count(self) -> int:
+        return len(self.nodes) - 1
+
+    def reversed(self, new_id: Optional[int] = None) -> "Path":
+        """The same physical walk traversed in the opposite direction."""
+        return Path(
+            path_id=self.path_id if new_id is None else new_id,
+            nodes=tuple(reversed(self.nodes)),
+            link_ids=self.link_ids,
+            src=self.dst,
+            dst=self.src,
+            via=self.via,
+        )
+
+
+def walk_to_link_ids(topology: Topology, nodes: Sequence[str]) -> frozenset:
+    """Translate a node walk into the set of link ids it traverses."""
+    ids = set()
+    for a, b in zip(nodes, nodes[1:]):
+        ids.add(topology.link_between(a, b).link_id)
+    return frozenset(ids)
+
+
+def walk_link_sequence(topology: Topology, nodes: Sequence[str]) -> List[int]:
+    """The ordered list of link ids along a node walk (hops in order).
+
+    Unlike :func:`walk_to_link_ids` duplicates are preserved; traceroute-style
+    tools (fbtracert) need the hop order to attribute loss onset to a link.
+    """
+    return [
+        topology.link_between(a, b).link_id for a, b in zip(nodes, nodes[1:])
+    ]
+
+
+# --------------------------------------------------------------------------
+# Fattree
+# --------------------------------------------------------------------------
+
+def enumerate_fattree_paths(
+    topology: FatTreeTopology,
+    ordered: bool = True,
+    include_intrapod_agg: bool = False,
+) -> List[Path]:
+    """Candidate probe paths between every pair of ToR (edge) switches.
+
+    Parameters
+    ----------
+    ordered:
+        When ``True`` (paper counting) both ``(A, B)`` and ``(B, A)`` appear;
+        their link sets are identical, so PMC typically runs with
+        ``ordered=False`` and the counting experiments with ``ordered=True``.
+    include_intrapod_agg:
+        Also include the two-hop ``edge -> agg -> edge`` paths between ToRs of
+        the same pod.  The paper's path counting routes every pair through a
+        core switch, but the short paths are how production ECMP would route
+        intra-pod traffic, so they are available as an option.
+    """
+    paths: List[Path] = []
+    tors = [n.name for n in topology.tor_switches]
+    core_names = topology.core_switch_names()
+
+    def pair_iter() -> Iterator[Tuple[str, str]]:
+        for i, src in enumerate(tors):
+            for j, dst in enumerate(tors):
+                if i == j:
+                    continue
+                if not ordered and i > j:
+                    continue
+                yield src, dst
+
+    for src, dst in pair_iter():
+        src_pod = topology.node(src).pod
+        dst_pod = topology.node(dst).pod
+        for core in core_names:
+            src_agg = topology.agg_for_core(src_pod, core)
+            dst_agg = topology.agg_for_core(dst_pod, core)
+            if src_pod == dst_pod:
+                walk = (src, src_agg, core, dst_agg, dst)
+            else:
+                walk = (src, src_agg, core, dst_agg, dst)
+            paths.append(
+                Path(
+                    path_id=len(paths),
+                    nodes=walk,
+                    link_ids=walk_to_link_ids(topology, walk),
+                    src=src,
+                    dst=dst,
+                    via=core,
+                )
+            )
+        if include_intrapod_agg and src_pod == dst_pod:
+            for agg in topology.aggregation_switches_in_pod(src_pod):
+                walk = (src, agg, dst)
+                paths.append(
+                    Path(
+                        path_id=len(paths),
+                        nodes=walk,
+                        link_ids=walk_to_link_ids(topology, walk),
+                        src=src,
+                        dst=dst,
+                        via=agg,
+                    )
+                )
+    return paths
+
+
+# --------------------------------------------------------------------------
+# VL2
+# --------------------------------------------------------------------------
+
+def enumerate_vl2_paths(topology: VL2Topology, ordered: bool = True) -> List[Path]:
+    """Candidate probe paths between every pair of VL2 ToR switches.
+
+    Each path is ``ToR -> agg -> intermediate -> agg' -> ToR'`` pinned by the
+    triple (source aggregation switch, intermediate switch, destination
+    aggregation switch).
+    """
+    paths: List[Path] = []
+    tors = topology.tor_switch_names
+    intermediates = topology.intermediate_switch_names
+
+    for i, src in enumerate(tors):
+        src_aggs = topology.aggs_of_tor(src)
+        for j, dst in enumerate(tors):
+            if i == j:
+                continue
+            if not ordered and i > j:
+                continue
+            dst_aggs = topology.aggs_of_tor(dst)
+            for src_agg in src_aggs:
+                for inter in intermediates:
+                    for dst_agg in dst_aggs:
+                        walk = (src, src_agg, inter, dst_agg, dst)
+                        paths.append(
+                            Path(
+                                path_id=len(paths),
+                                nodes=walk,
+                                link_ids=walk_to_link_ids(topology, walk),
+                                src=src,
+                                dst=dst,
+                                via=f"{src_agg}|{inter}|{dst_agg}",
+                            )
+                        )
+    return paths
+
+
+# --------------------------------------------------------------------------
+# BCube
+# --------------------------------------------------------------------------
+
+def enumerate_bcube_paths(topology: BCubeTopology, ordered: bool = True) -> List[Path]:
+    """The ``k+1`` parallel paths between every pair of BCube servers.
+
+    Implements ``BuildPathSet`` from the BCube paper: path ``i`` corrects the
+    address digits in the cyclic order ``i, i-1, ..., 0, k, ..., i+1``.  When
+    source and destination already agree on digit ``i``, the altered variant
+    detours through a level-``i`` neighbor of the source so that the path set
+    keeps ``k+1`` members (and stays parallel).
+    """
+    paths: List[Path] = []
+    servers = topology.server_node_names()
+    k = topology.k
+
+    for i, src in enumerate(servers):
+        for j, dst in enumerate(servers):
+            if i == j:
+                continue
+            if not ordered and i > j:
+                continue
+            for start_level in range(k, -1, -1):
+                walk = _bcube_path_walk(topology, src, dst, start_level)
+                paths.append(
+                    Path(
+                        path_id=len(paths),
+                        nodes=tuple(walk),
+                        link_ids=walk_to_link_ids(topology, walk),
+                        src=src,
+                        dst=dst,
+                        via=f"level{start_level}",
+                    )
+                )
+    return paths
+
+
+def _bcube_path_walk(
+    topology: BCubeTopology, src: str, dst: str, start_level: int
+) -> List[str]:
+    """Node walk of the BCube parallel path that starts by fixing ``start_level``."""
+    k = topology.k
+    src_addr = list(topology.server_address(src))
+    dst_addr = topology.server_address(dst)
+    order = [(start_level - offset) % (k + 1) for offset in range(k + 1)]
+
+    walk = [src]
+    current = list(src_addr)
+
+    def hop(level: int, new_digit: int) -> None:
+        """Move to the server whose digit ``level`` equals ``new_digit`` via the shared switch."""
+        position = k - level
+        if current[position] == new_digit:
+            return
+        switch = topology.switch_for(current, level)
+        current[position] = new_digit
+        next_server = topology.server_name(current)
+        walk.append(switch)
+        walk.append(next_server)
+
+    first_level = order[0]
+    first_position = k - first_level
+    detour_digit: Optional[int] = None
+    if src_addr[first_position] == dst_addr[first_position]:
+        # Altered path: detour through a level-``first_level`` neighbor so this
+        # path stays link-disjoint from the ones that correct other digits
+        # first (AltDCRouting in the BCube paper).
+        detour_digit = (src_addr[first_position] + 1) % topology.n
+        if detour_digit == dst_addr[first_position]:
+            detour_digit = (detour_digit + 1) % topology.n
+        if detour_digit != src_addr[first_position]:
+            hop(first_level, detour_digit)
+    else:
+        hop(first_level, dst_addr[first_position])
+
+    for level in order[1:]:
+        hop(level, dst_addr[k - level])
+
+    # Undo the detour (or finish correcting the first digit) last.
+    hop(first_level, dst_addr[first_position])
+    return walk
+
+
+# --------------------------------------------------------------------------
+# Generic
+# --------------------------------------------------------------------------
+
+def enumerate_candidate_paths(topology: Topology, ordered: bool = True, **kwargs) -> List[Path]:
+    """Dispatch to the topology-specific enumerator.
+
+    Falls back to ECMP shortest paths between ToR switches for topologies
+    without a specialised enumerator.
+    """
+    if isinstance(topology, FatTreeTopology):
+        return enumerate_fattree_paths(topology, ordered=ordered, **kwargs)
+    if isinstance(topology, VL2Topology):
+        return enumerate_vl2_paths(topology, ordered=ordered, **kwargs)
+    if isinstance(topology, BCubeTopology):
+        return enumerate_bcube_paths(topology, ordered=ordered, **kwargs)
+    tors = [n.name for n in topology.tor_switches]
+    if not tors:
+        raise TopologyError(
+            f"no specialised path enumerator for {topology.name!r} and no ToR switches found"
+        )
+    pairs = []
+    for i, src in enumerate(tors):
+        for j, dst in enumerate(tors):
+            if i == j:
+                continue
+            if not ordered and i > j:
+                continue
+            pairs.append((src, dst))
+    return enumerate_shortest_paths(topology, pairs)
+
+
+def enumerate_shortest_paths(
+    topology: Topology,
+    pairs: Iterable[Tuple[str, str]],
+    max_paths_per_pair: Optional[int] = None,
+) -> List[Path]:
+    """All shortest switch-level paths for the given endpoint pairs.
+
+    Used for arbitrary topologies (and in tests as an oracle for the
+    specialised enumerators).  Paths are discovered with
+    :func:`networkx.all_shortest_paths` on the switches-only graph.
+    """
+    import networkx as nx
+
+    graph = topology.to_networkx(switches_only=True)
+    paths: List[Path] = []
+    for src, dst in pairs:
+        found = 0
+        for walk in nx.all_shortest_paths(graph, src, dst):
+            paths.append(
+                Path(
+                    path_id=len(paths),
+                    nodes=tuple(walk),
+                    link_ids=walk_to_link_ids(topology, walk),
+                    src=src,
+                    dst=dst,
+                    via=walk[len(walk) // 2] if len(walk) > 2 else "",
+                )
+            )
+            found += 1
+            if max_paths_per_pair is not None and found >= max_paths_per_pair:
+                break
+    return paths

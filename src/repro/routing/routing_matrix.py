@@ -1,0 +1,161 @@
+"""The routing matrix ``R``: candidate probe paths x inter-switch links.
+
+§4.1 of the paper defines ``R`` as an ``m x n`` 0/1 matrix where ``R[i, j] = 1``
+iff link ``j`` lies on path ``i``.  At data-center scale a dense matrix is not
+an option (Fattree(64) has ~4.3e9 candidate paths), so :class:`RoutingMatrix`
+keeps the incidence as
+
+* ``links_on(path)``   -- the frozen set of link ids of each path, and
+* ``paths_through(l)`` -- the sorted tuple of path indices crossing link ``l``
+
+and only materialises a :mod:`scipy.sparse` matrix on demand (useful for the
+OMP localization baseline and for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..topology import Topology
+from .paths import Path
+
+__all__ = ["RoutingMatrix"]
+
+
+class RoutingMatrix:
+    """Candidate probe paths over a fixed link universe.
+
+    Parameters
+    ----------
+    topology:
+        The topology the paths live in.
+    paths:
+        Candidate :class:`~repro.routing.paths.Path` objects.  Their
+        ``path_id`` fields are ignored; the position in this sequence is the
+        canonical path index.
+    link_ids:
+        The link universe.  Defaults to all inter-switch links of the
+        topology, which is what deTector's probe matrix targets (§3.1).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        paths: Sequence[Path],
+        link_ids: Optional[Iterable[int]] = None,
+    ):
+        self._topology = topology
+        self._paths: List[Path] = list(paths)
+        if link_ids is None:
+            universe = [link.link_id for link in topology.switch_links]
+        else:
+            universe = sorted(set(link_ids))
+        self._link_ids: Tuple[int, ...] = tuple(universe)
+        universe_set = frozenset(universe)
+        self._universe_set = universe_set
+
+        self._links_on: List[FrozenSet[int]] = []
+        paths_through: Dict[int, List[int]] = {link_id: [] for link_id in universe}
+        for index, path in enumerate(self._paths):
+            on_universe = frozenset(l for l in path.link_ids if l in universe_set)
+            self._links_on.append(on_universe)
+            for link_id in on_universe:
+                paths_through[link_id].append(index)
+        self._paths_through: Dict[int, Tuple[int, ...]] = {
+            link_id: tuple(indices) for link_id, indices in paths_through.items()
+        }
+
+    # ------------------------------------------------------------------ views
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def paths(self) -> Sequence[Path]:
+        return tuple(self._paths)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self._paths)
+
+    @property
+    def link_ids(self) -> Tuple[int, ...]:
+        return self._link_ids
+
+    @property
+    def num_links(self) -> int:
+        return len(self._link_ids)
+
+    def path(self, index: int) -> Path:
+        return self._paths[index]
+
+    def links_on(self, path_index: int) -> FrozenSet[int]:
+        """Link ids (restricted to the universe) traversed by a path."""
+        return self._links_on[path_index]
+
+    def paths_through(self, link_id: int) -> Tuple[int, ...]:
+        """Indices of paths that traverse the link."""
+        try:
+            return self._paths_through[link_id]
+        except KeyError:
+            raise KeyError(f"link {link_id} is not in the routing-matrix universe") from None
+
+    def contains_link(self, link_id: int) -> bool:
+        return link_id in self._universe_set
+
+    # ------------------------------------------------------------ diagnostics
+    def covered_links(self) -> List[int]:
+        """Links crossed by at least one candidate path."""
+        return [l for l in self._link_ids if self._paths_through[l]]
+
+    def uncovered_links(self) -> List[int]:
+        """Links no candidate path can probe (PMC can never cover these)."""
+        return [l for l in self._link_ids if not self._paths_through[l]]
+
+    def coverage_histogram(self) -> Dict[int, int]:
+        """Map ``link_id -> number of candidate paths`` through it."""
+        return {l: len(self._paths_through[l]) for l in self._link_ids}
+
+    def summary(self) -> Mapping[str, int]:
+        histogram = self.coverage_histogram()
+        values = list(histogram.values())
+        return {
+            "paths": self.num_paths,
+            "links": self.num_links,
+            "uncovered_links": len(self.uncovered_links()),
+            "min_link_coverage": min(values) if values else 0,
+            "max_link_coverage": max(values) if values else 0,
+        }
+
+    # ------------------------------------------------------------ conversions
+    def column_index(self) -> Dict[int, int]:
+        """Map from link id to column position in :meth:`to_sparse`."""
+        return {link_id: column for column, link_id in enumerate(self._link_ids)}
+
+    def to_sparse(self):
+        """Export as a ``scipy.sparse.csr_matrix`` of shape (paths, links)."""
+        from scipy import sparse
+
+        columns = self.column_index()
+        data: List[int] = []
+        row_indices: List[int] = []
+        col_indices: List[int] = []
+        for row, links in enumerate(self._links_on):
+            for link_id in links:
+                row_indices.append(row)
+                col_indices.append(columns[link_id])
+                data.append(1)
+        return sparse.csr_matrix(
+            (data, (row_indices, col_indices)),
+            shape=(self.num_paths, self.num_links),
+            dtype=float,
+        )
+
+    def to_dense(self):
+        """Dense ``numpy`` export (small instances / tests only)."""
+        return self.to_sparse().toarray()
+
+    def subset(self, path_indices: Sequence[int]) -> "RoutingMatrix":
+        """A new routing matrix restricted to the given paths (same universe)."""
+        selected = [self._paths[i] for i in path_indices]
+        return RoutingMatrix(self._topology, selected, link_ids=self._link_ids)

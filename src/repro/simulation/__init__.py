@@ -1,0 +1,32 @@
+"""Simulation substrate: failure injection, packet-level probing, workload and latency models."""
+
+from .failures import (
+    FailureGenerator,
+    FailureGeneratorConfig,
+    FailureScenario,
+    LinkFailure,
+    LossMode,
+)
+from .latency import LatencyConfig, LatencyModel, RTTSample
+from .network import PairProbeOutcome, ProbeConfig, ProbeSimulator
+from .resources import PingerResourceModel, ResourceUsage
+from .workload import Flow, WorkloadConfig, WorkloadModel
+
+__all__ = [
+    "LossMode",
+    "LinkFailure",
+    "FailureScenario",
+    "FailureGenerator",
+    "FailureGeneratorConfig",
+    "ProbeConfig",
+    "ProbeSimulator",
+    "PairProbeOutcome",
+    "WorkloadConfig",
+    "WorkloadModel",
+    "Flow",
+    "LatencyConfig",
+    "LatencyModel",
+    "RTTSample",
+    "PingerResourceModel",
+    "ResourceUsage",
+]

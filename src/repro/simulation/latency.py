@@ -1,0 +1,146 @@
+"""Latency model: RTT and jitter of workload traffic under probing load.
+
+Fig. 4(c)/(d) of the paper show that probing barely perturbs workload RTT and
+jitter until the probing frequency becomes large.  We reproduce the shape with
+a standard queueing approximation:
+
+* every hop adds a fixed propagation/forwarding delay,
+* every traversed link adds an M/M/1-style queueing delay
+  ``service_time * rho / (1 - rho)`` where ``rho`` is the link utilisation
+  (background workload plus probing bandwidth),
+* the end-host stack adds a constant term at both ends,
+* jitter is the standard deviation of per-packet RTT samples, where each
+  sample perturbs the queueing term with exponential noise.
+
+Absolute numbers are not comparable with the testbed's 1 GbE switches, but the
+trend -- flat RTT/jitter until probing claims a noticeable share of link
+capacity -- is what the experiment reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..routing import Path
+
+__all__ = ["LatencyConfig", "LatencyModel", "RTTSample"]
+
+
+@dataclass(frozen=True)
+class LatencyConfig:
+    """Constants of the latency model (1 GbE testbed-ish defaults)."""
+
+    per_hop_delay_us: float = 25.0
+    host_stack_delay_us: float = 60.0
+    mean_packet_size_bytes: float = 850.0
+    link_capacity_bps: float = 1_000_000_000.0
+    max_utilization: float = 0.97
+
+    def __post_init__(self) -> None:
+        if self.link_capacity_bps <= 0:
+            raise ValueError("link_capacity_bps must be positive")
+        if not 0.0 < self.max_utilization < 1.0:
+            raise ValueError("max_utilization must lie in (0, 1)")
+
+    @property
+    def service_time_us(self) -> float:
+        """Transmission time of an average packet on one link, in microseconds."""
+        return self.mean_packet_size_bytes * 8.0 / self.link_capacity_bps * 1e6
+
+
+@dataclass(frozen=True)
+class RTTSample:
+    """Mean RTT and jitter measured for one configuration."""
+
+    mean_rtt_us: float
+    jitter_us: float
+    p99_rtt_us: float
+
+
+class LatencyModel:
+    """Computes RTT/jitter for paths given per-link utilisation."""
+
+    def __init__(self, config: Optional[LatencyConfig] = None):
+        self.config = config or LatencyConfig()
+
+    # ----------------------------------------------------------- single path
+    def path_rtt_us(self, path: Path, utilization: Dict[int, float]) -> float:
+        """Deterministic (mean) round-trip time of a path in microseconds."""
+        config = self.config
+        one_way = config.host_stack_delay_us
+        for link_id in path.link_ids:
+            rho = min(utilization.get(link_id, 0.0), config.max_utilization)
+            queueing = config.service_time_us * rho / (1.0 - rho)
+            one_way += config.per_hop_delay_us + config.service_time_us + queueing
+        one_way += config.host_stack_delay_us
+        return 2.0 * one_way
+
+    def sample_path_rtt_us(
+        self,
+        path: Path,
+        utilization: Dict[int, float],
+        rng: np.random.Generator,
+        num_samples: int = 100,
+    ) -> np.ndarray:
+        """Per-packet RTT samples: the queueing term is exponentially distributed."""
+        config = self.config
+        base = config.host_stack_delay_us * 2.0
+        fixed = 0.0
+        queue_means: List[float] = []
+        for link_id in path.link_ids:
+            rho = min(utilization.get(link_id, 0.0), config.max_utilization)
+            fixed += config.per_hop_delay_us + config.service_time_us
+            queue_means.append(config.service_time_us * rho / (1.0 - rho))
+        fixed *= 2.0  # both directions
+        samples = np.full(num_samples, base + fixed, dtype=float)
+        for mean in queue_means:
+            if mean > 0.0:
+                samples += rng.exponential(mean, size=num_samples)
+                samples += rng.exponential(mean, size=num_samples)  # reverse direction
+        return samples
+
+    # ----------------------------------------------------------- populations
+    def workload_rtt(
+        self,
+        paths: Sequence[Path],
+        utilization: Dict[int, float],
+        rng: np.random.Generator,
+        samples_per_path: int = 20,
+    ) -> RTTSample:
+        """RTT statistics over a set of workload paths (Fig. 4(c)/(d))."""
+        if not paths:
+            raise ValueError("workload_rtt needs at least one path")
+        all_samples: List[np.ndarray] = []
+        for path in paths:
+            all_samples.append(
+                self.sample_path_rtt_us(path, utilization, rng, num_samples=samples_per_path)
+            )
+        merged = np.concatenate(all_samples)
+        return RTTSample(
+            mean_rtt_us=float(np.mean(merged)),
+            jitter_us=float(np.std(merged)),
+            p99_rtt_us=float(np.percentile(merged, 99)),
+        )
+
+    @staticmethod
+    def add_probe_load(
+        utilization: Dict[int, float],
+        probe_matrix_paths: Iterable[Path],
+        probes_per_second_per_path: float,
+        probe_size_bytes: float = 850.0,
+        link_capacity_bps: float = 1_000_000_000.0,
+    ) -> Dict[int, float]:
+        """Utilisation with probing traffic added on top of the workload.
+
+        Every probe path contributes its probe rate (request plus response) to
+        every link it traverses.
+        """
+        updated = dict(utilization)
+        per_path_bps = probes_per_second_per_path * probe_size_bytes * 8.0 * 2.0
+        for path in probe_matrix_paths:
+            for link_id in path.link_ids:
+                updated[link_id] = updated.get(link_id, 0.0) + per_path_bps / link_capacity_bps
+        return updated

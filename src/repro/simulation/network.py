@@ -1,0 +1,225 @@
+"""Packet-level probing simulator.
+
+This is the substitute for the paper's 20-switch SDN testbed: probes are
+simulated packets that traverse the links of their (pinned or ECMP-chosen)
+path; each failed link drops them according to its :class:`LossMode`.  The
+round trip is modelled explicitly -- the echoed response traverses the same
+links in the reverse direction and can be dropped too, which is why deTector
+treats links as undirected (§4.1).
+
+The simulator is deliberately stateless about time: an "aggregation window" is
+just a number of probes per path.  All randomness flows through an explicit
+``numpy.random.Generator``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import ProbeMatrix
+from ..localization import ObservationSet, PathObservation
+from ..routing import ECMPRouter, Path, ProbePacket
+from ..topology import Topology
+from .failures import FailureScenario, LinkFailure, LossMode
+
+__all__ = ["ProbeConfig", "PairProbeOutcome", "ProbeSimulator"]
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """How a pinger exercises one probe path during a window (§6.1).
+
+    Attributes
+    ----------
+    probes_per_path:
+        Number of probe packets sent on each path during the window.
+    port_range:
+        The pinger loops over this many source ports to increase packet
+        entropy; deterministic blackholes then hit only a subset of probes.
+    base_port:
+        First source port of the loop.
+    destination_port:
+        The UDP port responders listen on.
+    dscp_values:
+        DSCP values cycled across probes (different QoS classes).
+    """
+
+    probes_per_path: int = 5
+    port_range: int = 16
+    base_port: int = 33434
+    destination_port: int = 53535
+    dscp_values: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.probes_per_path < 1:
+            raise ValueError("probes_per_path must be >= 1")
+        if self.port_range < 1:
+            raise ValueError("port_range must be >= 1")
+
+    def packet_for(self, path: Path, sequence: int) -> ProbePacket:
+        """The probe packet for the ``sequence``-th probe of a path."""
+        return ProbePacket(
+            src_server=path.src,
+            dst_server=path.dst,
+            src_port=self.base_port + (sequence % self.port_range),
+            dst_port=self.destination_port,
+            dscp=self.dscp_values[sequence % len(self.dscp_values)],
+            sequence=sequence,
+        )
+
+
+@dataclass
+class PairProbeOutcome:
+    """Result of probing a server/ToR pair without path pinning (Pingmesh style)."""
+
+    src: str
+    dst: str
+    sent: int
+    lost: int
+    losses_by_path: Dict[int, int]
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.sent if self.sent else 0.0
+
+    @property
+    def is_lossy(self) -> bool:
+        return self.lost > 0
+
+
+class ProbeSimulator:
+    """Simulates probe transmission over a topology with injected failures."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        scenario: FailureScenario,
+        rng: np.random.Generator,
+        probe_reverse_path: bool = True,
+    ):
+        self._topology = topology
+        self._scenario = scenario
+        self._rng = rng
+        self._probe_reverse_path = probe_reverse_path
+        self.drops_per_link: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ state
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def scenario(self) -> FailureScenario:
+        return self._scenario
+
+    def set_scenario(self, scenario: FailureScenario) -> None:
+        """Swap the failure scenario (new evaluation minute, same simulator)."""
+        self._scenario = scenario
+        self.drops_per_link = {}
+
+    # ------------------------------------------------------------ primitives
+    def _dropped_on_link(self, failure: LinkFailure, flow_key: Tuple) -> bool:
+        if failure.mode is LossMode.FULL:
+            return True
+        if failure.mode is LossMode.DETERMINISTIC_PARTIAL:
+            return failure.drops_flow(flow_key)
+        return bool(self._rng.random() < failure.loss_rate)
+
+    def transmit(self, link_ids: Iterable[int], flow_key: Tuple) -> bool:
+        """One-way transmission attempt; returns ``True`` when delivered."""
+        for link_id in link_ids:
+            failure = self._scenario.failure_on(link_id)
+            if failure is None:
+                continue
+            if self._dropped_on_link(failure, flow_key):
+                self.drops_per_link[link_id] = self.drops_per_link.get(link_id, 0) + 1
+                return False
+        return True
+
+    def round_trip(self, path: Path, packet: ProbePacket) -> bool:
+        """Probe plus echoed response; lost if either direction is dropped."""
+        forward_key = packet.flow_key()
+        if not self.transmit(path.link_ids, forward_key):
+            return False
+        if not self._probe_reverse_path:
+            return True
+        reverse_key = (
+            packet.dst_server,
+            packet.src_server,
+            packet.dst_port,
+            packet.src_port,
+            packet.protocol,
+        )
+        return self.transmit(path.link_ids, reverse_key)
+
+    # ------------------------------------------------------- pinned probing
+    def probe_path(self, path: Path, config: ProbeConfig) -> PathObservation:
+        """Send ``config.probes_per_path`` pinned probes along one path."""
+        lost = 0
+        for sequence in range(config.probes_per_path):
+            packet = config.packet_for(path, sequence)
+            if not self.round_trip(path, packet):
+                lost += 1
+        return PathObservation(
+            path_index=path.path_id, sent=config.probes_per_path, lost=lost
+        )
+
+    def observe_probe_matrix(
+        self, probe_matrix: ProbeMatrix, config: Optional[ProbeConfig] = None
+    ) -> ObservationSet:
+        """Probe every path of a probe matrix once per window (deTector's view)."""
+        config = config or ProbeConfig()
+        observations = ObservationSet()
+        for index, path in enumerate(probe_matrix.paths):
+            lost = 0
+            for sequence in range(config.probes_per_path):
+                packet = config.packet_for(path, sequence)
+                if not self.round_trip(path, packet):
+                    lost += 1
+            observations.add(
+                PathObservation(path_index=index, sent=config.probes_per_path, lost=lost)
+            )
+        return observations
+
+    # --------------------------------------------------------- ECMP probing
+    def probe_pair_ecmp(
+        self,
+        router: ECMPRouter,
+        src: str,
+        dst: str,
+        num_probes: int,
+        config: Optional[ProbeConfig] = None,
+    ) -> PairProbeOutcome:
+        """Probe a pair the Pingmesh/NetNORAD way: no path pinning.
+
+        Each probe uses a fresh source port; the simulated switches hash the
+        flow onto one of the candidate paths.  Only the aggregate per-pair
+        loss count is observable to those systems -- the per-path breakdown is
+        kept for analysis but hidden from their detectors.
+        """
+        config = config or ProbeConfig()
+        lost = 0
+        losses_by_path: Dict[int, int] = {}
+        for sequence in range(num_probes):
+            src_port = config.base_port + (sequence % max(num_probes, config.port_range))
+            packet = ProbePacket(
+                src_server=src,
+                dst_server=dst,
+                src_port=src_port,
+                dst_port=config.destination_port,
+                dscp=config.dscp_values[sequence % len(config.dscp_values)],
+                sequence=sequence,
+            )
+            path_index = router.route_index(packet.flow_key())
+            if path_index is None:
+                raise ValueError(f"ECMP router has no candidate paths for {src} -> {dst}")
+            path = router.path_at(path_index)
+            if not self.round_trip(path, packet):
+                lost += 1
+                losses_by_path[path_index] = losses_by_path.get(path_index, 0) + 1
+        return PairProbeOutcome(
+            src=src, dst=dst, sent=num_probes, lost=lost, losses_by_path=losses_by_path
+        )

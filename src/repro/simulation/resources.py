@@ -1,0 +1,75 @@
+"""Pinger resource-overhead model (CPU, memory, bandwidth) for Fig. 4(b).
+
+The paper measures ~0.4% CPU, ~13 MB memory and ~100 Kbps of bandwidth per
+pinger at 10 probes/second.  Real CPU/memory cannot be measured for a
+simulated pinger, so this module provides a calibrated linear model:
+
+* bandwidth is exact arithmetic (probes/second x packet size x 8 bits, counting
+  request and response),
+* CPU is a small per-probe cost plus a fixed baseline (XML aggregation, HTTP
+  fetches),
+* memory is a fixed baseline plus a per-path bookkeeping cost.
+
+The constants are chosen so that the 10-probes/second operating point matches
+the numbers quoted in §6.3, and the trend with frequency is linear -- which is
+what Fig. 4(b) shows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PingerResourceModel", "ResourceUsage"]
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Per-pinger resource consumption at a given probing frequency."""
+
+    cpu_percent: float
+    memory_mb: float
+    bandwidth_kbps: float
+
+
+@dataclass(frozen=True)
+class PingerResourceModel:
+    """Linear resource model calibrated against the §6.3 measurements.
+
+    Attributes
+    ----------
+    probe_size_bytes:
+        Average probe size (850 bytes in the paper).
+    cpu_baseline_percent / cpu_per_probe_percent:
+        Fixed overhead (pinglist fetch, result aggregation) and marginal cost
+        per probe per second.
+    memory_baseline_mb / memory_per_path_kb:
+        Resident set of the pinger process plus per-path bookkeeping.
+    """
+
+    probe_size_bytes: float = 850.0
+    cpu_baseline_percent: float = 0.1
+    cpu_per_probe_percent: float = 0.03
+    memory_baseline_mb: float = 12.0
+    memory_per_path_kb: float = 16.0
+
+    def usage(self, probes_per_second: float, num_paths: int = 60) -> ResourceUsage:
+        """Resource usage of one pinger at the given probing frequency.
+
+        Parameters
+        ----------
+        probes_per_second:
+            Aggregate probe sending rate of the pinger.
+        num_paths:
+            Number of probe paths in its pinglist (§4.4: about 60 for a
+            Fattree(64) deployment).
+        """
+        if probes_per_second < 0:
+            raise ValueError("probes_per_second must be non-negative")
+        if num_paths < 0:
+            raise ValueError("num_paths must be non-negative")
+        bandwidth_bps = probes_per_second * self.probe_size_bytes * 8.0 * 2.0
+        return ResourceUsage(
+            cpu_percent=self.cpu_baseline_percent + self.cpu_per_probe_percent * probes_per_second,
+            memory_mb=self.memory_baseline_mb + self.memory_per_path_kb * num_paths / 1024.0,
+            bandwidth_kbps=bandwidth_bps / 1000.0,
+        )

@@ -1,0 +1,145 @@
+"""Background workload traffic model.
+
+The paper replays packet traces from a university data center [11] so that
+probing competes with realistic traffic (Fig. 4(c)/(d) report the RTT and
+jitter the workload experiences as probing frequency grows).  Without those
+traces we synthesise an equivalent workload: mostly short, HTTP-like flows
+with heavy-tailed sizes, Poisson arrivals at every server, destinations picked
+uniformly at random, and ECMP spreading each flow over the candidate paths.
+
+The output the rest of the system needs is simply the *average utilisation of
+every link*; the latency model turns utilisation into RTT/jitter and the
+experiment harness adds the probing bandwidth on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..routing import ECMPRouter, Path
+from ..topology import Topology
+
+__all__ = ["WorkloadConfig", "Flow", "WorkloadModel"]
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Synthetic traffic knobs.
+
+    Attributes
+    ----------
+    flows_per_server_per_second:
+        Poisson arrival rate of new flows at each server.
+    mean_flow_size_bytes:
+        Mean of the heavy-tailed (Pareto) flow size distribution.  80 KB
+        approximates the short HTTP transfers dominating the IMC 2010 traces.
+    pareto_shape:
+        Pareto tail index; 1.5 gives the mice/elephant mix typical of DCNs.
+    link_capacity_bps:
+        Capacity of every link (the testbed uses 1 GbE ports).
+    duration_seconds:
+        Window length over which utilisation is averaged.
+    """
+
+    flows_per_server_per_second: float = 8.0
+    mean_flow_size_bytes: float = 80_000.0
+    pareto_shape: float = 1.5
+    link_capacity_bps: float = 1_000_000_000.0
+    duration_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.flows_per_server_per_second < 0:
+            raise ValueError("flows_per_server_per_second must be non-negative")
+        if self.pareto_shape <= 1.0:
+            raise ValueError("pareto_shape must be > 1 for a finite mean")
+        if self.link_capacity_bps <= 0:
+            raise ValueError("link_capacity_bps must be positive")
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One workload flow: endpoints, bytes and the path ECMP hashed it onto."""
+
+    src: str
+    dst: str
+    size_bytes: float
+    path_index: int
+
+
+class WorkloadModel:
+    """Generates synthetic flows and derives per-link utilisation."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        candidate_paths: Sequence[Path],
+        rng: np.random.Generator,
+        config: Optional[WorkloadConfig] = None,
+    ):
+        self._topology = topology
+        self._config = config or WorkloadConfig()
+        self._rng = rng
+        self._paths = list(candidate_paths)
+        self._router = ECMPRouter(self._paths, seed=int(rng.integers(0, 2**31 - 1)))
+        self._endpoints = sorted({p.src for p in self._paths})
+        if len(self._endpoints) < 2:
+            raise ValueError("workload model needs at least two endpoints with candidate paths")
+
+    @property
+    def config(self) -> WorkloadConfig:
+        return self._config
+
+    # ------------------------------------------------------------------ flows
+    def generate_flows(self) -> List[Flow]:
+        """Draw one window's worth of flows."""
+        config = self._config
+        flows: List[Flow] = []
+        expected = config.flows_per_server_per_second * config.duration_seconds
+        for src in self._endpoints:
+            count = int(self._rng.poisson(expected))
+            if count == 0:
+                continue
+            # Pareto sizes with the configured mean: scale = mean * (shape-1)/shape.
+            scale = config.mean_flow_size_bytes * (config.pareto_shape - 1.0) / config.pareto_shape
+            sizes = scale * (1.0 + self._rng.pareto(config.pareto_shape, size=count))
+            for size in sizes:
+                dst = src
+                while dst == src:
+                    dst = self._endpoints[int(self._rng.integers(0, len(self._endpoints)))]
+                sport = int(self._rng.integers(1024, 65535))
+                dport = 80
+                index = self._router.route_index((src, dst, sport, dport, 6))
+                if index is None:
+                    continue
+                flows.append(Flow(src=src, dst=dst, size_bytes=float(size), path_index=index))
+        return flows
+
+    # -------------------------------------------------------------- utilisation
+    def link_utilization(self, flows: Optional[Sequence[Flow]] = None) -> Dict[int, float]:
+        """Average utilisation (0..1) of every switch link over the window."""
+        config = self._config
+        if flows is None:
+            flows = self.generate_flows()
+        bits_per_link: Dict[int, float] = {
+            link.link_id: 0.0 for link in self._topology.switch_links
+        }
+        for flow in flows:
+            path = self._paths[flow.path_index]
+            bits = flow.size_bytes * 8.0
+            for link_id in path.link_ids:
+                if link_id in bits_per_link:
+                    bits_per_link[link_id] += bits
+        denominator = config.link_capacity_bps * config.duration_seconds
+        return {
+            link_id: min(bits / denominator, 0.99)
+            for link_id, bits in bits_per_link.items()
+        }
+
+    def mean_utilization(self, utilization: Optional[Dict[int, float]] = None) -> float:
+        utilization = utilization if utilization is not None else self.link_utilization()
+        if not utilization:
+            return 0.0
+        return sum(utilization.values()) / len(utilization)

@@ -1,0 +1,436 @@
+"""Core graph model shared by every data-center topology generator.
+
+The paper treats the data center as a graph ``G = (V, E)`` where ``V`` is the
+set of switches (plus servers, which only matter for pinger placement) and
+``E`` is the set of *bidirectional* links.  deTector localizes failures on the
+links that interconnect switches; server-to-ToR links are handled separately
+by intra-rack probing (§3.1 of the paper).
+
+This module provides:
+
+* :class:`Node` and :class:`Link` -- immutable records describing the graph,
+* :class:`Topology` -- the container with adjacency helpers, tier queries and
+  conversion to :mod:`networkx` for generic graph algorithms.
+
+Every concrete topology (:class:`~repro.topology.fattree.FatTreeTopology`,
+:class:`~repro.topology.vl2.VL2Topology`,
+:class:`~repro.topology.bcube.BCubeTopology`) builds itself through the
+:class:`TopologyBuilder` helper so that node/link numbering is deterministic
+and identical across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = [
+    "Tier",
+    "Node",
+    "Link",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyError",
+]
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topology construction requests."""
+
+
+class Tier:
+    """Symbolic names for the roles a node can play.
+
+    Using plain strings (rather than an enum) keeps the topology model open:
+    BCube introduces per-level switch tiers (``level-0`` .. ``level-k``) that a
+    closed enumeration could not express.
+    """
+
+    CORE = "core"
+    AGGREGATION = "aggregation"
+    EDGE = "edge"  # ToR switches in Fattree terminology
+    INTERMEDIATE = "intermediate"  # VL2 intermediate switches
+    TOR = "tor"  # VL2 top-of-rack switches
+    SERVER = "server"
+
+    SWITCH_TIERS = frozenset(
+        {CORE, AGGREGATION, EDGE, INTERMEDIATE, TOR}
+    )
+
+    @staticmethod
+    def is_switch(tier: str) -> bool:
+        """Return ``True`` when *tier* denotes a switch (including BCube levels)."""
+        return tier != Tier.SERVER
+
+
+@dataclass(frozen=True)
+class Node:
+    """A device in the data center network.
+
+    Attributes
+    ----------
+    name:
+        Globally unique, human readable identifier, e.g. ``"pod0/edge1"``.
+    tier:
+        One of the :class:`Tier` constants (or a BCube level string).
+    index:
+        Dense integer id assigned in construction order; useful for array
+        based bookkeeping.
+    pod:
+        Pod number for pod-structured topologies, ``None`` otherwise.
+    attrs:
+        Free-form, topology specific attributes (e.g. the position of an edge
+        switch inside its pod).  Stored as a tuple of ``(key, value)`` pairs so
+        the dataclass stays hashable.
+    """
+
+    name: str
+    tier: str
+    index: int
+    pod: Optional[int] = None
+    attrs: Tuple[Tuple[str, object], ...] = ()
+
+    @property
+    def is_switch(self) -> bool:
+        return Tier.is_switch(self.tier)
+
+    @property
+    def is_server(self) -> bool:
+        return self.tier == Tier.SERVER
+
+    def attr(self, key: str, default: object = None) -> object:
+        """Return a free-form attribute by name."""
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+
+@dataclass(frozen=True)
+class Link:
+    """An undirected link between two nodes.
+
+    Probes traverse links in both directions (the echoed response follows the
+    reverse path), hence deTector reasons about undirected links: a localized
+    fault on link ``AB`` means either direction of the physical link or either
+    endpoint device (§4.1).
+
+    Attributes
+    ----------
+    link_id:
+        Dense integer id assigned in construction order.
+    a, b:
+        Endpoint node names, stored in sorted order so that
+        ``Link(a, b) == Link(b, a)`` after normalization.
+    tier_pair:
+        Sorted pair of the endpoints' tiers, e.g. ``("aggregation", "core")``.
+    """
+
+    link_id: int
+    a: str
+    b: str
+    tier_pair: Tuple[str, str]
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.a, self.b)
+
+    def other(self, node_name: str) -> str:
+        """Return the endpoint opposite to *node_name*."""
+        if node_name == self.a:
+            return self.b
+        if node_name == self.b:
+            return self.a
+        raise TopologyError(f"{node_name!r} is not an endpoint of link {self.link_id}")
+
+    def touches(self, node_name: str) -> bool:
+        return node_name == self.a or node_name == self.b
+
+
+class Topology:
+    """Immutable view over a constructed data-center graph.
+
+    The class offers the queries every other subsystem needs:
+
+    * node and link lookup by name / id,
+    * adjacency and link-between-nodes lookup,
+    * tier filters (ToR switches, servers under a ToR, ...),
+    * the *switch-level* link set used by the probe matrix, and
+    * export to :mod:`networkx` for generic algorithms (connectivity checks,
+      symmetry discovery, visualisation).
+    """
+
+    def __init__(self, name: str, nodes: Sequence[Node], links: Sequence[Link]):
+        self._name = name
+        self._nodes: Dict[str, Node] = {n.name: n for n in nodes}
+        if len(self._nodes) != len(nodes):
+            raise TopologyError("duplicate node names in topology")
+        self._links: List[Link] = list(links)
+        for expected, link in enumerate(self._links):
+            if link.link_id != expected:
+                raise TopologyError(
+                    f"link ids must be dense and ordered; got {link.link_id} at {expected}"
+                )
+        self._adj: Dict[str, Dict[str, Link]] = {n.name: {} for n in nodes}
+        for link in self._links:
+            if link.a not in self._nodes or link.b not in self._nodes:
+                raise TopologyError(f"link {link.link_id} references unknown node")
+            self._adj[link.a][link.b] = link
+            self._adj[link.b][link.a] = link
+        self._by_tier: Dict[str, List[Node]] = {}
+        for node in nodes:
+            self._by_tier.setdefault(node.tier, []).append(node)
+
+    # ------------------------------------------------------------------ basic
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def nodes(self) -> Mapping[str, Node]:
+        return self._nodes
+
+    @property
+    def links(self) -> Sequence[Link]:
+        return tuple(self._links)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Topology {self._name}: {len(self._nodes)} nodes, "
+            f"{len(self._links)} links>"
+        )
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def link(self, link_id: int) -> Link:
+        try:
+            return self._links[link_id]
+        except IndexError:
+            raise TopologyError(f"unknown link id {link_id}") from None
+
+    def link_between(self, a: str, b: str) -> Link:
+        """Return the link connecting *a* and *b* (raises if absent)."""
+        try:
+            return self._adj[a][b]
+        except KeyError:
+            raise TopologyError(f"no link between {a!r} and {b!r}") from None
+
+    def has_link(self, a: str, b: str) -> bool:
+        return b in self._adj.get(a, {})
+
+    def neighbors(self, name: str) -> List[str]:
+        return sorted(self._adj[name])
+
+    def links_of(self, name: str) -> List[Link]:
+        """All links incident to node *name*."""
+        return [self._adj[name][other] for other in sorted(self._adj[name])]
+
+    def degree(self, name: str) -> int:
+        return len(self._adj[name])
+
+    # ------------------------------------------------------------------ tiers
+    def nodes_in_tier(self, tier: str) -> List[Node]:
+        return list(self._by_tier.get(tier, []))
+
+    @property
+    def switches(self) -> List[Node]:
+        return [n for n in self._nodes.values() if n.is_switch]
+
+    @property
+    def servers(self) -> List[Node]:
+        return self.nodes_in_tier(Tier.SERVER)
+
+    @property
+    def tor_switches(self) -> List[Node]:
+        """Top-of-rack switches: the attachment points of servers.
+
+        Fattree calls these *edge* switches, VL2 calls them *ToR* switches.
+        BCube is server-centric and has no ToR notion; an empty list is
+        returned in that case.
+        """
+        tors = self.nodes_in_tier(Tier.EDGE) + self.nodes_in_tier(Tier.TOR)
+        return sorted(tors, key=lambda n: n.index)
+
+    def servers_under(self, tor_name: str) -> List[Node]:
+        """Servers directly attached to the given ToR switch."""
+        out = []
+        for neighbor in self.neighbors(tor_name):
+            node = self._nodes[neighbor]
+            if node.is_server:
+                out.append(node)
+        return sorted(out, key=lambda n: n.index)
+
+    def tor_of(self, server_name: str) -> Node:
+        """The ToR switch a server hangs off."""
+        server = self.node(server_name)
+        if not server.is_server:
+            raise TopologyError(f"{server_name!r} is not a server")
+        for neighbor in self.neighbors(server_name):
+            node = self._nodes[neighbor]
+            if node.is_switch:
+                return node
+        raise TopologyError(f"server {server_name!r} has no switch neighbor")
+
+    # ------------------------------------------------------------ link groups
+    @property
+    def switch_links(self) -> List[Link]:
+        """Links whose both endpoints are switches.
+
+        This is the link universe of the probe matrix: deTector focuses on
+        localizing faults on inter-switch links (§3.1); server uplinks are
+        monitored by intra-rack pings instead.
+        """
+        out = []
+        for link in self._links:
+            if self._nodes[link.a].is_switch and self._nodes[link.b].is_switch:
+                out.append(link)
+        return out
+
+    @property
+    def server_links(self) -> List[Link]:
+        """Links with at least one server endpoint."""
+        out = []
+        for link in self._links:
+            if self._nodes[link.a].is_server or self._nodes[link.b].is_server:
+                out.append(link)
+        return out
+
+    def links_by_tier_pair(self) -> Dict[Tuple[str, str], List[Link]]:
+        """Group links by the (sorted) tier pair of their endpoints."""
+        groups: Dict[Tuple[str, str], List[Link]] = {}
+        for link in self._links:
+            groups.setdefault(link.tier_pair, []).append(link)
+        return groups
+
+    # ------------------------------------------------------------------ pods
+    @property
+    def pods(self) -> List[int]:
+        pods = sorted({n.pod for n in self._nodes.values() if n.pod is not None})
+        return pods
+
+    def nodes_in_pod(self, pod: int) -> List[Node]:
+        return sorted(
+            (n for n in self._nodes.values() if n.pod == pod),
+            key=lambda n: n.index,
+        )
+
+    # ------------------------------------------------------------ conversion
+    def to_networkx(self, switches_only: bool = False):
+        """Export to a :class:`networkx.Graph`.
+
+        Parameters
+        ----------
+        switches_only:
+            When ``True`` servers and their uplinks are omitted; this is the
+            graph the probe matrix construction reasons about.
+        """
+        import networkx as nx
+
+        graph = nx.Graph(name=self._name)
+        for node in self._nodes.values():
+            if switches_only and node.is_server:
+                continue
+            graph.add_node(node.name, tier=node.tier, pod=node.pod, index=node.index)
+        for link in self._links:
+            if switches_only and (
+                self._nodes[link.a].is_server or self._nodes[link.b].is_server
+            ):
+                continue
+            graph.add_edge(link.a, link.b, link_id=link.link_id)
+        return graph
+
+    def without_links(self, removed_link_ids: Iterable[int]) -> "Topology":
+        """Return a copy of the topology with the given links removed.
+
+        The controller uses this when the watchdog reports a failed link or
+        switch: faulty links are dropped from the routing matrix so that no
+        probe path is planned across them (§6.1 footnote 4).  Link ids are
+        re-densified; the mapping between old and new ids is not preserved, so
+        callers that need to correlate should work on endpoint names.
+        """
+        removed = set(removed_link_ids)
+        kept = [l for l in self._links if l.link_id not in removed]
+        relabeled = [
+            Link(link_id=i, a=l.a, b=l.b, tier_pair=l.tier_pair)
+            for i, l in enumerate(kept)
+        ]
+        return Topology(self._name, list(self._nodes.values()), relabeled)
+
+    def without_node(self, node_name: str) -> "Topology":
+        """Return a copy with a node (e.g. a failed switch) and its links removed."""
+        self.node(node_name)  # validate
+        nodes = [n for n in self._nodes.values() if n.name != node_name]
+        kept = [l for l in self._links if not l.touches(node_name)]
+        relabeled = [
+            Link(link_id=i, a=l.a, b=l.b, tier_pair=l.tier_pair)
+            for i, l in enumerate(kept)
+        ]
+        return Topology(self._name, nodes, relabeled)
+
+    # --------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, int]:
+        """Node/link counts, matching the columns of Table 2 in the paper."""
+        return {
+            "nodes": len(self._nodes),
+            "links": len(self._links),
+            "switches": len(self.switches),
+            "servers": len(self.servers),
+            "switch_links": len(self.switch_links),
+            "server_links": len(self.server_links),
+        }
+
+
+class TopologyBuilder:
+    """Incremental construction helper with dense, deterministic numbering."""
+
+    def __init__(self, name: str):
+        self._name = name
+        self._nodes: List[Node] = []
+        self._node_names: Dict[str, Node] = {}
+        self._links: List[Link] = []
+        self._link_keys: Dict[FrozenSet[str], Link] = {}
+
+    def add_node(
+        self,
+        name: str,
+        tier: str,
+        pod: Optional[int] = None,
+        **attrs: object,
+    ) -> Node:
+        if name in self._node_names:
+            raise TopologyError(f"duplicate node name {name!r}")
+        node = Node(
+            name=name,
+            tier=tier,
+            index=len(self._nodes),
+            pod=pod,
+            attrs=tuple(sorted(attrs.items())),
+        )
+        self._nodes.append(node)
+        self._node_names[name] = node
+        return node
+
+    def add_link(self, a: str, b: str) -> Link:
+        if a not in self._node_names or b not in self._node_names:
+            raise TopologyError(f"cannot link unknown nodes {a!r}, {b!r}")
+        if a == b:
+            raise TopologyError(f"self-loop on {a!r} is not allowed")
+        key = frozenset((a, b))
+        if key in self._link_keys:
+            raise TopologyError(f"duplicate link between {a!r} and {b!r}")
+        first, second = sorted((a, b))
+        tier_pair = tuple(sorted((self._node_names[a].tier, self._node_names[b].tier)))
+        link = Link(link_id=len(self._links), a=first, b=second, tier_pair=tier_pair)
+        self._links.append(link)
+        self._link_keys[key] = link
+        return link
+
+    def has_node(self, name: str) -> bool:
+        return name in self._node_names
+
+    def build(self) -> Topology:
+        return Topology(self._name, self._nodes, self._links)

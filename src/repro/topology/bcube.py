@@ -1,0 +1,179 @@
+"""BCube topology generator (Guo et al., SIGCOMM 2009).
+
+``BCube(n, k)`` is the server-centric recursive topology:
+
+* servers carry ``k+1`` digit addresses ``a_k a_{k-1} ... a_0`` with each digit
+  in ``[0, n)`` -- there are ``n**(k+1)`` servers,
+* level-``i`` switches (``n**k`` per level, ``k+1`` levels) connect the ``n``
+  servers that agree on every digit except digit ``i``,
+* every link attaches a server to a switch, so there are
+  ``(k+1) * n**(k+1)`` links.
+
+The paper treats BCube servers as switches when running PMC (footnote 2), so
+every node is created as a switch-tier node here; the "servers" the monitoring
+system places pingers on are the level-addressable server nodes, exposed via
+:meth:`BCubeTopology.server_node_names`.
+
+Between any two servers there are ``k+1`` parallel paths, constructed with the
+``BuildPathSet`` procedure from the BCube paper (digit-correcting routing plus
+the altered-path variant when source and destination agree on a digit).  These
+paths are produced by :func:`repro.routing.paths.enumerate_bcube_paths`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .base import Tier, Topology, TopologyBuilder, TopologyError
+
+__all__ = ["BCubeTopology", "build_bcube", "bcube_counts"]
+
+
+def bcube_counts(n: int, k: int) -> Dict[str, int]:
+    """Analytic node/link/path counts for ``BCube(n, k)``."""
+    if n < 2:
+        raise TopologyError("BCube port count n must be >= 2")
+    if k < 0:
+        raise TopologyError("BCube level k must be >= 0")
+    num_servers = n ** (k + 1)
+    switches_per_level = n ** k
+    num_switches = (k + 1) * switches_per_level
+    num_links = (k + 1) * num_servers
+    return {
+        "n": n,
+        "k": k,
+        "levels": k + 1,
+        "servers": num_servers,
+        "switches_per_level": switches_per_level,
+        "switches": num_switches,
+        "nodes": num_servers + num_switches,
+        "links": num_links,
+        "switch_links": num_links,  # servers are treated as switches for PMC
+        "paths_per_server_pair": k + 1,
+        "original_paths": num_servers * (num_servers - 1) * (k + 1),
+    }
+
+
+class BCubeTopology(Topology):
+    """A fully built ``BCube(n, k)`` with address-based structural queries."""
+
+    def __init__(self, n: int, k: int):
+        counts = bcube_counts(n, k)
+        self._n = n
+        self._k = k
+
+        builder = TopologyBuilder(f"BCube({n},{k})")
+
+        # Servers.  BCube is server centric: its servers forward traffic, so
+        # for probe-matrix purposes they are switches too (paper footnote 2).
+        # We still tag them with a dedicated tier name so the monitoring layer
+        # can place pingers on them.
+        self._server_names: List[str] = []
+        for addr in _all_addresses(n, k + 1):
+            name = "srv" + "".join(str(d) for d in addr)
+            builder.add_node(name, "bcube-server", address=addr)
+            self._server_names.append(name)
+
+        # Level-i switches connect servers that differ only in digit i.  The
+        # switch address is the server address with digit i removed.
+        self._switch_names: List[List[str]] = []
+        for level in range(k + 1):
+            level_names = []
+            for sw_addr in _all_addresses(n, k):
+                name = f"sw{level}_" + "".join(str(d) for d in sw_addr)
+                builder.add_node(name, f"bcube-level{level}", level=level, address=sw_addr)
+                level_names.append(name)
+                for digit in range(n):
+                    server_addr = _insert_digit(sw_addr, position=level, value=digit, width=k + 1)
+                    server_name = "srv" + "".join(str(d) for d in server_addr)
+                    builder.add_link(server_name, name)
+            self._switch_names.append(level_names)
+
+        built = builder.build()
+        super().__init__(built.name, list(built.nodes.values()), list(built.links))
+        expected = counts
+        if len(self.links) != expected["links"]:  # pragma: no cover - sanity net
+            raise TopologyError(
+                f"BCube construction produced {len(self.links)} links, "
+                f"expected {expected['links']}"
+            )
+
+    # ----------------------------------------------------------- structure
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def levels(self) -> int:
+        return self._k + 1
+
+    def server_node_names(self) -> List[str]:
+        return list(self._server_names)
+
+    def switch_names_at_level(self, level: int) -> List[str]:
+        return list(self._switch_names[level])
+
+    def server_name(self, address: Sequence[int]) -> str:
+        self._validate_address(address, self._k + 1)
+        return "srv" + "".join(str(d) for d in address)
+
+    def server_address(self, name: str) -> Tuple[int, ...]:
+        node = self.node(name)
+        addr = node.attr("address")
+        if addr is None or node.tier != "bcube-server":
+            raise TopologyError(f"{name!r} is not a BCube server")
+        return tuple(addr)
+
+    def switch_for(self, server_address: Sequence[int], level: int) -> str:
+        """Name of the level-``level`` switch a server attaches to."""
+        self._validate_address(server_address, self._k + 1)
+        if not 0 <= level <= self._k:
+            raise TopologyError(f"level {level} out of range for BCube({self._n},{self._k})")
+        sw_addr = tuple(d for i, d in enumerate(server_address) if i != self._position_index(level))
+        return f"sw{level}_" + "".join(str(d) for d in sw_addr)
+
+    def _position_index(self, level: int) -> int:
+        # Addresses are stored most-significant digit first: digit ``i`` of the
+        # paper (level ``i``) lives at tuple position ``k - i``.
+        return self._k - level
+
+    def neighbor_server(self, server_address: Sequence[int], level: int, digit: int) -> str:
+        """Server that agrees with *server_address* everywhere except digit ``level``."""
+        self._validate_address(server_address, self._k + 1)
+        if not 0 <= digit < self._n:
+            raise TopologyError(f"digit {digit} out of range for n={self._n}")
+        addr = list(server_address)
+        addr[self._position_index(level)] = digit
+        return self.server_name(addr)
+
+    def expected_counts(self) -> Dict[str, int]:
+        return bcube_counts(self._n, self._k)
+
+    def _validate_address(self, address: Sequence[int], width: int) -> None:
+        if len(address) != width:
+            raise TopologyError(f"address {address!r} must have {width} digits")
+        if any(d < 0 or d >= self._n for d in address):
+            raise TopologyError(f"address {address!r} has digits outside [0, {self._n})")
+
+
+def build_bcube(n: int, k: int) -> BCubeTopology:
+    """Convenience constructor mirroring the paper's ``BCube(n, k)`` notation."""
+    return BCubeTopology(n, k)
+
+
+def _all_addresses(n: int, width: int) -> List[Tuple[int, ...]]:
+    """All ``width``-digit addresses base ``n``, most significant digit first."""
+    addresses: List[Tuple[int, ...]] = [()]
+    for _ in range(width):
+        addresses = [addr + (digit,) for addr in addresses for digit in range(n)]
+    return addresses
+
+
+def _insert_digit(addr: Tuple[int, ...], position: int, value: int, width: int) -> Tuple[int, ...]:
+    """Insert ``value`` as digit ``position`` (paper numbering) into a switch address."""
+    index = (width - 1) - position
+    return addr[:index] + (value,) + addr[index:]

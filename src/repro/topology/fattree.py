@@ -1,0 +1,183 @@
+"""k-ary Fattree topology generator (Al-Fares et al., SIGCOMM 2008).
+
+A ``k``-ary Fattree has
+
+* ``k`` pods, each containing ``k/2`` edge (ToR) switches and ``k/2``
+  aggregation switches,
+* ``(k/2)**2`` core switches,
+* every edge switch connects ``k/2`` servers and all ``k/2`` aggregation
+  switches in its pod,
+* aggregation switch number ``j`` of every pod connects to core switches
+  ``j*(k/2) .. (j+1)*(k/2)-1`` (its *core group*).
+
+Counts used throughout the paper (Table 2):
+
+* switches: ``5*k**2/4``, servers: ``k**3/4``, total nodes ``k**3/4 + 5*k**2/4``
+* links: ``3*k**3/4`` (``k**3/4`` each of core-agg, agg-edge, edge-server)
+* inter-switch links: ``k**3/2``
+* candidate probe paths among ToRs (ordered pairs, one path per core switch):
+  ``(k**2/2) * (k**2/2 - 1) * (k**2/4)``
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .base import Tier, Topology, TopologyBuilder, TopologyError
+
+__all__ = ["FatTreeTopology", "build_fattree", "fattree_counts"]
+
+
+def fattree_counts(k: int) -> Dict[str, int]:
+    """Analytic node/link/path counts for a ``k``-ary Fattree.
+
+    These formulas back the "# of nodes / # of links / # of original paths"
+    columns of Table 2 without having to materialize the giant instances
+    (Fattree(72) has ~8.7e9 candidate paths).
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError("Fattree radix k must be an even integer >= 2")
+    half = k // 2
+    num_core = half * half
+    num_agg = k * half
+    num_edge = k * half
+    num_servers = k * half * half
+    num_tors = num_edge
+    return {
+        "k": k,
+        "pods": k,
+        "core_switches": num_core,
+        "aggregation_switches": num_agg,
+        "edge_switches": num_edge,
+        "servers": num_servers,
+        "nodes": num_core + num_agg + num_edge + num_servers,
+        "links": num_core * k + num_agg * half + num_servers,
+        "switch_links": num_core * k + num_agg * half,
+        "tor_switches": num_tors,
+        "paths_per_tor_pair": num_core,
+        "original_paths": num_tors * (num_tors - 1) * num_core,
+        # Appendix B of the technical report: at least k^3/5 paths are needed
+        # for a (1-coverage, 1-identifiability) probe matrix.
+        "min_paths_1cov_1ident": k ** 3 / 5.0,
+    }
+
+
+class FatTreeTopology(Topology):
+    """A fully built ``k``-ary Fattree with convenient structural queries."""
+
+    def __init__(self, k: int, servers_per_edge: Optional[int] = None):
+        if k < 2 or k % 2 != 0:
+            raise TopologyError("Fattree radix k must be an even integer >= 2")
+        self._k = k
+        half = k // 2
+        self._servers_per_edge = half if servers_per_edge is None else servers_per_edge
+        if self._servers_per_edge < 0:
+            raise TopologyError("servers_per_edge must be non-negative")
+
+        builder = TopologyBuilder(f"Fattree({k})")
+
+        # Core switches, numbered by (group, position-in-group).  Core group g
+        # is the set of core switches reachable from aggregation switch g of
+        # every pod.
+        core_names: List[List[str]] = []
+        for group in range(half):
+            row = []
+            for pos in range(half):
+                name = f"core{group}_{pos}"
+                builder.add_node(name, Tier.CORE, group=group, position=pos)
+                row.append(name)
+            core_names.append(row)
+
+        self._edge_names: List[List[str]] = []
+        self._agg_names: List[List[str]] = []
+        for pod in range(k):
+            aggs = []
+            edges = []
+            for j in range(half):
+                agg = f"pod{pod}_agg{j}"
+                builder.add_node(agg, Tier.AGGREGATION, pod=pod, position=j)
+                aggs.append(agg)
+            for j in range(half):
+                edge = f"pod{pod}_edge{j}"
+                builder.add_node(edge, Tier.EDGE, pod=pod, position=j)
+                edges.append(edge)
+            self._agg_names.append(aggs)
+            self._edge_names.append(edges)
+
+            # edge <-> aggregation: full bipartite inside the pod
+            for edge in edges:
+                for agg in aggs:
+                    builder.add_link(edge, agg)
+
+            # servers under each edge switch
+            for j, edge in enumerate(edges):
+                for s in range(self._servers_per_edge):
+                    server = f"pod{pod}_edge{j}_srv{s}"
+                    builder.add_node(server, Tier.SERVER, pod=pod, position=s)
+                    builder.add_link(server, edge)
+
+        # aggregation <-> core
+        for pod in range(k):
+            for group, agg in enumerate(self._agg_names[pod]):
+                for core in core_names[group]:
+                    builder.add_link(agg, core)
+
+        self._core_names = core_names
+        built = builder.build()
+        super().__init__(built.name, list(built.nodes.values()), list(built.links))
+
+    # ----------------------------------------------------------- structure
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def servers_per_edge(self) -> int:
+        return self._servers_per_edge
+
+    @property
+    def core_groups(self) -> List[List[str]]:
+        """Core switch names grouped by the aggregation position they serve."""
+        return [list(row) for row in self._core_names]
+
+    def core_switch_names(self) -> List[str]:
+        return [name for row in self._core_names for name in row]
+
+    def edge_switch_name(self, pod: int, position: int) -> str:
+        return self._edge_names[pod][position]
+
+    def aggregation_switch_name(self, pod: int, position: int) -> str:
+        return self._agg_names[pod][position]
+
+    def edge_switches_in_pod(self, pod: int) -> List[str]:
+        return list(self._edge_names[pod])
+
+    def aggregation_switches_in_pod(self, pod: int) -> List[str]:
+        return list(self._agg_names[pod])
+
+    def core_group_of(self, core_name: str) -> int:
+        node = self.node(core_name)
+        if node.tier != Tier.CORE:
+            raise TopologyError(f"{core_name!r} is not a core switch")
+        return int(node.attr("group"))
+
+    def agg_for_core(self, pod: int, core_name: str) -> str:
+        """The unique aggregation switch in *pod* wired to *core_name*."""
+        return self._agg_names[pod][self.core_group_of(core_name)]
+
+    def expected_counts(self) -> Dict[str, int]:
+        counts = fattree_counts(self._k)
+        if self._servers_per_edge != self._k // 2:
+            # Adjust analytic counts when the caller asked for a non-standard
+            # number of servers per rack (useful to keep simulations small).
+            per_edge_delta = self._servers_per_edge - self._k // 2
+            delta = per_edge_delta * self._k * (self._k // 2)
+            counts["servers"] += delta
+            counts["nodes"] += delta
+            counts["links"] += delta
+        return counts
+
+
+def build_fattree(k: int, servers_per_edge: Optional[int] = None) -> FatTreeTopology:
+    """Convenience constructor mirroring the paper's ``Fattree(k)`` notation."""
+    return FatTreeTopology(k, servers_per_edge=servers_per_edge)

@@ -1,0 +1,169 @@
+"""Structural symmetry discovery for data-center topologies.
+
+The third PMC speed-up (§4.3, Observation 3) exploits the fact that DCN
+topologies are highly symmetric: once a probe path is selected, its
+topologically isomorphic images are equally good choices, so the candidate
+path set can be reduced and selections can be batched.
+
+The paper relies on an external symmetry-discovery tool (O2).  This module
+substitutes a *signature based* orbit computation tailored to the regular
+structures deTector evaluates on (Fattree, VL2, BCube) and degree/tier based
+signatures for arbitrary topologies:
+
+* every node gets a *structural role*: its tier plus its position-within-pod
+  style attributes, with pod identity erased,
+* every link gets the unordered pair of its endpoint roles,
+* every path gets the multiset of its link roles plus the role sequence of its
+  node walk.
+
+Two paths with equal signatures are in the same orbit of the (approximate)
+automorphism group.  This is an over-approximation only in pathological
+topologies; for the generated Fattree/VL2/BCube instances the signature
+classes coincide with the true orbits of the natural automorphism group
+(permuting pods, racks within a pod, core switches within a core group, ...).
+PMC re-validates coverage and identifiability after construction, so an
+over-merge can cost a few extra greedy iterations but never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from .base import Link, Node, Tier, Topology
+
+__all__ = [
+    "node_role",
+    "link_role",
+    "path_signature",
+    "PathOrbits",
+    "link_orbits",
+]
+
+
+def node_role(topology: Topology, node_name: str) -> Tuple[Hashable, ...]:
+    """Structural role of a node with instance identity erased.
+
+    The role combines the tier, the degree and (for BCube) the switch level.
+    Pod numbers, within-pod positions and core-group indices are deliberately
+    *not* part of the role: the natural automorphism groups of Fattree/VL2/
+    BCube permute them freely (e.g. swapping aggregation position 0 and 1 in
+    every pod together with the two core groups is an automorphism), so two
+    nodes differing only in those attributes are structurally interchangeable.
+    """
+    node = topology.node(node_name)
+    level = node.attr("level")
+    return (
+        node.tier,
+        topology.degree(node_name),
+        level if level is not None else -1,
+    )
+
+
+def link_role(topology: Topology, link: Link) -> Tuple[Hashable, ...]:
+    """Unordered pair of endpoint roles -- the structural class of a link."""
+    role_a = node_role(topology, link.a)
+    role_b = node_role(topology, link.b)
+    return tuple(sorted((role_a, role_b)))
+
+
+def link_orbits(topology: Topology, links: Iterable[Link]) -> Dict[Hashable, List[int]]:
+    """Group link ids by structural role."""
+    orbits: Dict[Hashable, List[int]] = defaultdict(list)
+    for link in links:
+        orbits[link_role(topology, link)].append(link.link_id)
+    return dict(orbits)
+
+
+def path_signature(topology: Topology, node_walk: Sequence[str]) -> Tuple[Hashable, ...]:
+    """Structural signature of a probe path given as a node walk.
+
+    Two paths are considered topologically isomorphic when
+
+    * the sequences of node roles along the walk are equal,
+    * the *relative pod pattern* is equal: the walk's pods, re-labelled in
+      first-appearance order, form the same sequence (this distinguishes an
+      intra-pod path from an inter-pod path even when the roles match), and
+    * the *node revisit pattern* is equal: walk nodes re-labelled in
+      first-appearance order, which distinguishes a path that bounces off a
+      shared aggregation switch (revisiting it) from one that traverses four
+      distinct switches.
+    """
+    roles = tuple(node_role(topology, name) for name in node_walk)
+    pod_pattern: List[int] = []
+    pod_relabel: Dict[int, int] = {}
+    node_pattern: List[int] = []
+    node_relabel: Dict[str, int] = {}
+    for name in node_walk:
+        pod = topology.node(name).pod
+        if pod is None:
+            pod_pattern.append(-1)
+        else:
+            if pod not in pod_relabel:
+                pod_relabel[pod] = len(pod_relabel)
+            pod_pattern.append(pod_relabel[pod])
+        if name not in node_relabel:
+            node_relabel[name] = len(node_relabel)
+        node_pattern.append(node_relabel[name])
+    return (roles, tuple(pod_pattern), tuple(node_pattern))
+
+
+@dataclass
+class PathOrbits:
+    """Candidate paths grouped into structural-isomorphism classes.
+
+    Attributes
+    ----------
+    signature_of:
+        signature index for every path index.
+    members:
+        list of path-index lists, one per orbit, in first-appearance order.
+    signatures:
+        the signature value of each orbit.
+    """
+
+    signature_of: List[int]
+    members: List[List[int]]
+    signatures: List[Tuple[Hashable, ...]]
+
+    @classmethod
+    def from_walks(
+        cls, topology: Topology, node_walks: Sequence[Sequence[str]]
+    ) -> "PathOrbits":
+        index_of: Dict[Tuple[Hashable, ...], int] = {}
+        signature_of: List[int] = []
+        members: List[List[int]] = []
+        signatures: List[Tuple[Hashable, ...]] = []
+        for path_index, walk in enumerate(node_walks):
+            sig = path_signature(topology, walk)
+            orbit = index_of.get(sig)
+            if orbit is None:
+                orbit = len(members)
+                index_of[sig] = orbit
+                members.append([])
+                signatures.append(sig)
+            signature_of.append(orbit)
+            members[orbit].append(path_index)
+        return cls(signature_of=signature_of, members=members, signatures=signatures)
+
+    @property
+    def num_orbits(self) -> int:
+        return len(self.members)
+
+    def orbit_of(self, path_index: int) -> int:
+        return self.signature_of[path_index]
+
+    def orbit_members(self, orbit: int) -> List[int]:
+        return list(self.members[orbit])
+
+    def representatives(self) -> List[int]:
+        """One path index (the first seen) per orbit."""
+        return [member[0] for member in self.members]
+
+    def summary(self) -> Mapping[str, int]:
+        return {
+            "paths": len(self.signature_of),
+            "orbits": self.num_orbits,
+            "largest_orbit": max((len(m) for m in self.members), default=0),
+        }

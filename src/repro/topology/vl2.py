@@ -1,0 +1,146 @@
+"""VL2 topology generator (Greenberg et al., SIGCOMM 2009).
+
+The paper's notation ``VL2(d_a, d_i, t)`` is interpreted as:
+
+* ``d_a / 2`` intermediate switches,
+* ``d_i`` aggregation switches,
+* ``d_a * d_i / 4`` ToR switches, each dual-homed to two aggregation switches,
+* ``t`` servers per ToR,
+* every aggregation switch connects to every intermediate switch.
+
+These parameters reproduce the node and link counts reported in Table 2, e.g.
+``VL2(20, 12, 20)`` has 1282 nodes and 1440 links, and ``VL2(140, 120, 100)``
+has 424390 nodes and 436800 links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Tier, Topology, TopologyBuilder, TopologyError
+
+__all__ = ["VL2Topology", "build_vl2", "vl2_counts"]
+
+
+def vl2_counts(d_a: int, d_i: int, servers_per_tor: int) -> Dict[str, int]:
+    """Analytic node/link/path counts for ``VL2(d_a, d_i, t)``."""
+    if d_a < 2 or d_a % 2 != 0:
+        raise TopologyError("VL2 aggregate-switch degree d_a must be even and >= 2")
+    if d_i < 1:
+        raise TopologyError("VL2 d_i must be >= 1")
+    if servers_per_tor < 0:
+        raise TopologyError("servers_per_tor must be non-negative")
+    num_int = d_a // 2
+    num_agg = d_i
+    num_tor = d_a * d_i // 4
+    num_servers = num_tor * servers_per_tor
+    tor_agg_links = num_tor * 2
+    agg_int_links = num_agg * num_int
+    # Candidate probe paths: ordered ToR pairs, each routed
+    # ToR -> agg -> intermediate -> agg' -> ToR' with 2 choices of source
+    # aggregation switch, ``num_int`` intermediates and 2 destination
+    # aggregation switches.
+    paths_per_pair = 2 * num_int * 2
+    return {
+        "d_a": d_a,
+        "d_i": d_i,
+        "servers_per_tor": servers_per_tor,
+        "intermediate_switches": num_int,
+        "aggregation_switches": num_agg,
+        "tor_switches": num_tor,
+        "servers": num_servers,
+        "nodes": num_int + num_agg + num_tor + num_servers,
+        "links": tor_agg_links + agg_int_links + num_servers,
+        "switch_links": tor_agg_links + agg_int_links,
+        "paths_per_tor_pair": paths_per_pair,
+        "original_paths": num_tor * (num_tor - 1) * paths_per_pair,
+    }
+
+
+class VL2Topology(Topology):
+    """A fully built VL2 network with structural accessors."""
+
+    def __init__(self, d_a: int, d_i: int, servers_per_tor: int = 0):
+        counts = vl2_counts(d_a, d_i, servers_per_tor)
+        self._d_a = d_a
+        self._d_i = d_i
+        self._servers_per_tor = servers_per_tor
+
+        builder = TopologyBuilder(f"VL2({d_a},{d_i},{servers_per_tor})")
+
+        self._int_names: List[str] = []
+        for i in range(counts["intermediate_switches"]):
+            name = f"int{i}"
+            builder.add_node(name, Tier.INTERMEDIATE, position=i)
+            self._int_names.append(name)
+
+        self._agg_names: List[str] = []
+        for i in range(counts["aggregation_switches"]):
+            name = f"agg{i}"
+            builder.add_node(name, Tier.AGGREGATION, position=i)
+            self._agg_names.append(name)
+
+        # aggregation <-> intermediate complete bipartite graph
+        for agg in self._agg_names:
+            for inter in self._int_names:
+                builder.add_link(agg, inter)
+
+        # ToRs: ToR t is dual homed to aggregation switches (2t, 2t+1) modulo
+        # the aggregation count, pairing consecutive aggregation switches as
+        # in the original VL2 wiring.
+        self._tor_names: List[str] = []
+        num_agg = counts["aggregation_switches"]
+        for t in range(counts["tor_switches"]):
+            name = f"tor{t}"
+            builder.add_node(name, Tier.TOR, position=t)
+            self._tor_names.append(name)
+            agg_a = self._agg_names[(2 * t) % num_agg]
+            agg_b = self._agg_names[(2 * t + 1) % num_agg]
+            builder.add_link(name, agg_a)
+            builder.add_link(name, agg_b)
+            for s in range(servers_per_tor):
+                server = f"tor{t}_srv{s}"
+                builder.add_node(server, Tier.SERVER, position=s)
+                builder.add_link(server, name)
+
+        built = builder.build()
+        super().__init__(built.name, list(built.nodes.values()), list(built.links))
+
+    @property
+    def d_a(self) -> int:
+        return self._d_a
+
+    @property
+    def d_i(self) -> int:
+        return self._d_i
+
+    @property
+    def servers_per_tor(self) -> int:
+        return self._servers_per_tor
+
+    @property
+    def intermediate_switch_names(self) -> List[str]:
+        return list(self._int_names)
+
+    @property
+    def aggregation_switch_names(self) -> List[str]:
+        return list(self._agg_names)
+
+    @property
+    def tor_switch_names(self) -> List[str]:
+        return list(self._tor_names)
+
+    def aggs_of_tor(self, tor_name: str) -> List[str]:
+        """The two aggregation switches a ToR is dual-homed to."""
+        node = self.node(tor_name)
+        if node.tier != Tier.TOR:
+            raise TopologyError(f"{tor_name!r} is not a VL2 ToR switch")
+        return [n for n in self.neighbors(tor_name) if self.node(n).tier == Tier.AGGREGATION]
+
+    def expected_counts(self) -> Dict[str, int]:
+        return vl2_counts(self._d_a, self._d_i, self._servers_per_tor)
+
+
+def build_vl2(d_a: int, d_i: int, servers_per_tor: int = 0) -> VL2Topology:
+    """Convenience constructor mirroring the paper's ``VL2(d_a, d_i, t)`` notation."""
+    return VL2Topology(d_a, d_i, servers_per_tor)

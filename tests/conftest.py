@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite.
+
+Small topologies and probe matrices are session-scoped: they are immutable and
+expensive enough that rebuilding them for every test would dominate the suite's
+runtime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_bcube, build_fattree, build_vl2
+from repro.core import PMCOptions, construct_probe_matrix
+from repro.routing import RoutingMatrix, enumerate_candidate_paths
+
+
+@pytest.fixture(scope="session")
+def fattree4():
+    return build_fattree(4)
+
+
+@pytest.fixture(scope="session")
+def fattree6():
+    return build_fattree(6)
+
+
+@pytest.fixture(scope="session")
+def vl2_small():
+    return build_vl2(4, 4, 2)
+
+
+@pytest.fixture(scope="session")
+def bcube_small():
+    return build_bcube(4, 1)
+
+
+@pytest.fixture(scope="session")
+def fattree4_routing(fattree4):
+    paths = enumerate_candidate_paths(fattree4, ordered=False)
+    return RoutingMatrix(fattree4, paths)
+
+
+@pytest.fixture(scope="session")
+def fattree4_probe_matrix(fattree4_routing):
+    """A (3-coverage, 1-identifiability) probe matrix on Fattree(4), as in §6.3."""
+    result = construct_probe_matrix(fattree4_routing, PMCOptions(alpha=3, beta=1))
+    return result.probe_matrix
+
+
+@pytest.fixture(scope="session")
+def fattree4_probe_matrix_11(fattree4_routing):
+    """A minimal (1-coverage, 1-identifiability) probe matrix on Fattree(4)."""
+    result = construct_probe_matrix(fattree4_routing, PMCOptions(alpha=1, beta=1))
+    return result.probe_matrix
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)

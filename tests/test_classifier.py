@@ -1,0 +1,141 @@
+"""Tests for the loss-pattern classifier (the §7 "loss diagnosis" extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    LossPattern,
+    LossPatternClassifier,
+    ObservationSet,
+    PathObservation,
+    PLLLocalizer,
+    preprocess_observations,
+)
+from repro.simulation import FailureScenario, LossMode, ProbeConfig, ProbeSimulator
+
+
+def observations_with_rates(probe_matrix, link_id, rates_by_position, sent=200):
+    """Observations where the link's paths lose the given fractions, others nothing."""
+    paths = list(probe_matrix.paths_through(link_id))
+    observations = ObservationSet()
+    for index in range(probe_matrix.num_paths):
+        lost = 0
+        if index in paths:
+            rate = rates_by_position[paths.index(index) % len(rates_by_position)]
+            lost = int(round(sent * rate))
+        observations.add(PathObservation(index, sent=sent, lost=lost))
+    return observations
+
+
+class TestClassifierOnSyntheticRates:
+    def test_full_loss(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[3]
+        observations = observations_with_rates(fattree4_probe_matrix, link, [1.0])
+        verdict = LossPatternClassifier().diagnose_link(
+            fattree4_probe_matrix, observations, link
+        )
+        assert verdict.pattern is LossPattern.FULL
+        assert verdict.confidence >= 0.9
+        assert "interface" in verdict.hint
+
+    def test_random_partial(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[3]
+        observations = observations_with_rates(
+            fattree4_probe_matrix, link, [0.18, 0.22, 0.20, 0.21]
+        )
+        verdict = LossPatternClassifier().diagnose_link(
+            fattree4_probe_matrix, observations, link
+        )
+        assert verdict.pattern is LossPattern.RANDOM_PARTIAL
+
+    def test_blackhole_bimodal(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[3]
+        observations = observations_with_rates(fattree4_probe_matrix, link, [1.0, 0.0, 1.0])
+        verdict = LossPatternClassifier().diagnose_link(
+            fattree4_probe_matrix, observations, link
+        )
+        assert verdict.pattern is LossPattern.DETERMINISTIC_PARTIAL
+
+    def test_congestion_requires_utilization_hint(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[3]
+        observations = observations_with_rates(
+            fattree4_probe_matrix, link, [0.02, 0.03, 0.025]
+        )
+        classifier = LossPatternClassifier()
+        without_hint = classifier.diagnose_link(fattree4_probe_matrix, observations, link)
+        with_hint = classifier.diagnose_link(
+            fattree4_probe_matrix, observations, link, link_utilization={link: 0.9}
+        )
+        assert with_hint.pattern is LossPattern.CONGESTION
+        assert without_hint.pattern is not LossPattern.CONGESTION
+
+    def test_unknown_when_no_paths_observed(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[3]
+        verdict = LossPatternClassifier().diagnose_link(
+            fattree4_probe_matrix, ObservationSet(), link
+        )
+        assert verdict.pattern is LossPattern.UNKNOWN
+
+    def test_describe_mentions_pattern(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[3]
+        observations = observations_with_rates(fattree4_probe_matrix, link, [1.0])
+        verdict = LossPatternClassifier().diagnose_link(
+            fattree4_probe_matrix, observations, link
+        )
+        assert "full" in verdict.describe()
+
+
+class TestClassifierOnSimulatedFailures:
+    @pytest.mark.parametrize(
+        "mode, expected",
+        [
+            (LossMode.FULL, LossPattern.FULL),
+            (LossMode.RANDOM_PARTIAL, LossPattern.RANDOM_PARTIAL),
+        ],
+    )
+    def test_simulated_modes_recovered(self, fattree4, fattree4_probe_matrix, mode, expected):
+        rng = np.random.default_rng(4)
+        link = fattree4_probe_matrix.link_ids[10]
+        scenario = FailureScenario.single_link(link, mode=mode, loss_rate=0.3)
+        simulator = ProbeSimulator(fattree4, scenario, rng)
+        observations = simulator.observe_probe_matrix(
+            fattree4_probe_matrix, ProbeConfig(probes_per_path=300)
+        )
+        verdict = LossPatternClassifier().diagnose_link(
+            fattree4_probe_matrix, observations, link
+        )
+        assert verdict.pattern is expected
+
+    def test_end_to_end_with_pll(self, fattree4, fattree4_probe_matrix):
+        rng = np.random.default_rng(11)
+        link = fattree4_probe_matrix.link_ids[20]
+        scenario = FailureScenario.single_link(link, mode=LossMode.FULL)
+        simulator = ProbeSimulator(fattree4, scenario, rng)
+        observations = simulator.observe_probe_matrix(
+            fattree4_probe_matrix, ProbeConfig(probes_per_path=100)
+        )
+        cleaned = preprocess_observations(fattree4_probe_matrix, observations)
+        suspects = PLLLocalizer().localize(fattree4_probe_matrix, cleaned.observations)
+        diagnoses = LossPatternClassifier().diagnose(
+            fattree4_probe_matrix, cleaned.observations, suspects.suspected_links
+        )
+        assert len(diagnoses) == 1
+        assert diagnoses[0].link_id == link
+        assert diagnoses[0].pattern is LossPattern.FULL
+
+
+class TestDiagnoserIntegration:
+    def test_alerts_carry_loss_pattern(self, fattree4):
+        from repro.monitor import ControllerConfig, DetectorSystem
+
+        system = DetectorSystem(fattree4, np.random.default_rng(13), ControllerConfig())
+        system.run_controller_cycle()
+        bad = fattree4.switch_links[12].link_id
+        outcome = system.run_window(FailureScenario.single_link(bad))
+        assert outcome.diagnosis.alerts
+        alert = outcome.diagnosis.alerts[0]
+        assert alert.loss_pattern == LossPattern.FULL.value
+        assert alert.diagnosis_hint is not None
+        assert "[full]" in alert.describe()

@@ -1,0 +1,114 @@
+"""Tests for ECMP flow hashing and the source-routing encapsulation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import (
+    ECMPRouter,
+    ProbePacket,
+    SourceRouter,
+    enumerate_fattree_paths,
+)
+from repro.topology import TopologyError
+
+
+@pytest.fixture(scope="module")
+def fattree4_paths(fattree4):
+    return enumerate_fattree_paths(fattree4, ordered=True)
+
+
+@pytest.fixture(scope="module")
+def router(fattree4_paths):
+    return ECMPRouter(fattree4_paths, seed=3)
+
+
+def fattree4_fixture_workaround():  # pragma: no cover - documentation only
+    """Module-scoped fixtures above reuse the session-scoped ``fattree4``."""
+
+
+class TestECMPRouter:
+    def test_route_is_deterministic(self, router):
+        flow = ("pod0_edge0", "pod1_edge0", 1234, 53535, 17)
+        assert router.route_index(flow) == router.route_index(flow)
+
+    def test_route_stays_within_pair_candidates(self, router):
+        flow = ("pod0_edge0", "pod1_edge0", 4321, 53535, 17)
+        index = router.route_index(flow)
+        assert index in router.candidates("pod0_edge0", "pod1_edge0")
+
+    def test_route_unknown_pair_returns_none(self, router):
+        assert router.route_index(("pod0_edge0", "pod0_edge0", 1, 2, 17)) is None
+        assert router.route(("nope", "pod1_edge0", 1, 2, 17)) is None
+
+    def test_different_ports_spread_over_paths(self, router):
+        flows = [("pod0_edge0", "pod1_edge0", 33434 + i, 53535, 17) for i in range(64)]
+        spread = router.spread("pod0_edge0", "pod1_edge0", flows)
+        # Fattree(4) has 4 parallel paths; 64 flows should hit more than one.
+        assert len(spread) >= 2
+        assert sum(spread.values()) == 64
+
+    def test_spread_rejects_mismatched_flow(self, router):
+        with pytest.raises(ValueError):
+            router.spread("pod0_edge0", "pod1_edge0", [("pod2_edge0", "pod1_edge0", 1, 2, 17)])
+
+    def test_different_seeds_change_hash(self, fattree4_paths):
+        flow = ("pod0_edge0", "pod1_edge0", 1234, 53535, 17)
+        choices = {
+            ECMPRouter(fattree4_paths, seed=s).route_index(flow) for s in range(8)
+        }
+        assert len(choices) >= 2
+
+    def test_endpoints_listing(self, router):
+        endpoints = router.endpoints()
+        assert ("pod0_edge0", "pod1_edge0") in endpoints
+
+    def test_path_at(self, router):
+        index = router.candidates("pod0_edge0", "pod1_edge0")[0]
+        assert router.path_at(index).src == "pod0_edge0"
+
+
+class TestProbePacket:
+    def test_flow_key(self):
+        packet = ProbePacket("a", "b", 1000, 2000, dscp=4)
+        assert packet.flow_key() == ("a", "b", 1000, 2000, 17)
+
+    def test_default_size_matches_paper(self):
+        assert ProbePacket("a", "b", 1, 2).size_bytes == 850
+
+
+class TestSourceRouter:
+    def test_encapsulate_and_decapsulate(self, fattree4, fattree4_paths):
+        router = SourceRouter(fattree4)
+        path = fattree4_paths[0]
+        packet = ProbePacket(path.src, path.dst, 33434, 53535)
+        probe = router.encapsulate(packet, path)
+        assert probe.outer_destination == path.via
+        assert probe.total_size_bytes == packet.size_bytes + 20
+        assert router.decapsulate(probe) == packet
+
+    def test_response_swaps_endpoints_and_ports(self, fattree4, fattree4_paths):
+        router = SourceRouter(fattree4)
+        path = fattree4_paths[0]
+        packet = ProbePacket(path.src, path.dst, 1111, 2222)
+        probe = router.encapsulate(packet, path)
+        response = router.response_for(probe)
+        assert response.src_server == packet.dst_server
+        assert response.dst_server == packet.src_server
+        assert response.src_port == packet.dst_port
+        assert response.dst_port == packet.src_port
+
+    def test_unrealisable_path_rejected(self, fattree4, fattree4_paths):
+        router = SourceRouter(fattree4)
+        path = fattree4_paths[0]
+        broken = path.__class__(
+            path_id=path.path_id,
+            nodes=("pod0_edge0", "core0_0"),  # no direct edge-core link
+            link_ids=path.link_ids,
+            src=path.src,
+            dst=path.dst,
+            via=path.via,
+        )
+        packet = ProbePacket(path.src, path.dst, 1, 2)
+        with pytest.raises(TopologyError):
+            router.encapsulate(packet, broken)

@@ -1,0 +1,188 @@
+"""Tests for the experiment harnesses: structure, scaling knobs and qualitative shapes.
+
+The heavier "does the trend match the paper" checks live in benchmarks/; here
+we verify that every harness runs end to end on tiny instances and produces
+well-formed tables with the expected columns and reference data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExperimentTable,
+    figure4,
+    figure5,
+    figure6,
+    pll_comparison,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.common import format_value
+from repro.topology import build_fattree
+
+
+class TestExperimentTable:
+    def test_add_row_and_render(self):
+        table = ExperimentTable(title="t", columns=["a", "b"])
+        table.add_row(a=1, b=2.5)
+        table.add_row(a=None, b="x")
+        table.add_note("a note")
+        rendered = table.render()
+        assert "t" in rendered and "a note" in rendered
+        assert "2.5" in rendered
+        assert "-" in rendered  # the None cell
+
+    def test_column_values(self):
+        table = ExperimentTable(title="t", columns=["a"])
+        table.add_row(a=1)
+        table.add_row(a=3)
+        assert table.column_values("a") == [1, 3]
+
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(None, "-"), (True, "yes"), (False, "no"), (1234567, "1,234,567"), (0.0, "0")],
+    )
+    def test_format_value(self, value, expected):
+        assert format_value(value) == expected
+
+
+class TestTable2:
+    def test_paper_reference_rows(self):
+        reference = table2.paper_reference()
+        assert len(reference.rows) == 9
+        fattree72 = next(r for r in reference.rows if r["dcn"] == "Fattree(72)")
+        assert fattree72["symmetry"] == pytest.approx(17.054)
+        assert fattree72["strawman"] is None  # "> 24h"
+
+    def test_run_tiny(self):
+        instances = [table2.Table2Instance("Fattree(4)", lambda: build_fattree(4))]
+        table = table2.run(instances=instances)
+        assert len(table.rows) == 1
+        row = table.rows[0]
+        assert row["candidate_paths"] == 112
+        for column in ("strawman", "decomposition", "lazy_update", "symmetry"):
+            assert row[column] is not None and row[column] >= 0
+
+    def test_strawman_skipped_over_limit(self):
+        instances = [table2.Table2Instance("Fattree(6)", lambda: build_fattree(6))]
+        table = table2.run(instances=instances, strawman_path_limit=10)
+        assert table.rows[0]["strawman"] is None
+        assert table.rows[0]["lazy_update"] is not None
+
+    def test_default_instances_scales(self):
+        assert len(table2.default_instances("small")) >= 3
+        assert len(table2.default_instances("medium")) >= 3
+        with pytest.raises(ValueError):
+            table2.default_instances("huge")
+
+
+class TestTable3:
+    def test_paper_reference_rows(self):
+        reference = table3.paper_reference()
+        fattree64 = next(r for r in reference.rows if r["dcn"] == "Fattree(64)")
+        assert fattree64["paths(1,1)"] == 61_440
+
+    def test_run_tiny(self):
+        instances = [table3.Table3Instance("Fattree(4)", lambda: build_fattree(4), fattree_k=4)]
+        table = table3.run(instances=instances, alpha_beta=((1, 0), (1, 1)))
+        row = table.rows[0]
+        assert row["paths(1,0)"] < row["paths(1,1)"]
+        assert row["fattree_lower_bound"] == pytest.approx(12.8)
+
+    def test_beta_clamping_noted(self):
+        instances = [table3.Table3Instance("Fattree(4)", lambda: build_fattree(4))]
+        table = table3.run(instances=instances, alpha_beta=((1, 3),), max_beta=1)
+        assert any("clamped" in note for note in table.notes)
+
+
+class TestTable4:
+    def test_paper_reference_trend(self):
+        reference = table4.paper_reference()
+        by_setting = {row["alpha_beta"]: row for row in reference.rows}
+        assert by_setting["(1,1)"]["acc_1"] > by_setting["(3,0)"]["acc_1"]
+
+    def test_run_tiny(self):
+        table = table4.run(
+            radix=4,
+            alpha_beta=((1, 0), (1, 1)),
+            failure_counts=(1, 2),
+            trials=3,
+            probes_per_path=60,
+        )
+        assert len(table.rows) == 2
+        for row in table.rows:
+            for count in (1, 2):
+                assert 0.0 <= row[f"acc_{count}_failures"] <= 100.0
+
+    def test_failure_count_exceeding_links_is_skipped(self):
+        table = table4.run(
+            radix=4, alpha_beta=((1, 0),), failure_counts=(1, 10_000), trials=1, probes_per_path=10
+        )
+        assert table.rows[0]["acc_10000_failures"] is None
+
+
+class TestTable5:
+    def test_paper_reference(self):
+        reference = table5.paper_reference()
+        assert all(row["false_positive_pct"] < 1.0 for row in reference.rows)
+
+    def test_run_tiny(self):
+        table = table5.run(radix=4, beta=1, failure_counts=(1, 2), trials=3, probes_per_path=80)
+        assert len(table.rows) == 2
+        for row in table.rows:
+            total = row["accuracy_pct"] + row["false_negative_pct"]
+            assert total == pytest.approx(100.0, abs=1e-6)
+
+
+class TestFigure4:
+    def test_run_tiny(self):
+        table = figure4.run(radix=4, frequencies=(2, 20), trials_per_frequency=3)
+        assert len(table.rows) == 2
+        low, high = table.rows
+        assert high["bandwidth_kbps"] > low["bandwidth_kbps"]
+        assert high["cpu_pct"] > low["cpu_pct"]
+        assert high["workload_rtt_us"] >= low["workload_rtt_us"] * 0.9
+        assert figure4.paper_reference_notes()
+
+
+class TestFigure5:
+    def test_run_tiny(self):
+        table = figure5.run(
+            radix=4,
+            trials=3,
+            detector_frequencies=(5,),
+            baseline_probes_per_pair=(5,),
+        )
+        systems = {row["system"] for row in table.rows}
+        assert systems == {"deTector", "Pingmesh+Netbouncer", "NetNORAD+fbtracert"}
+        detector_row = next(r for r in table.rows if r["system"] == "deTector")
+        assert detector_row["time_to_localization_s"] == 30.0
+        baseline_rows = [r for r in table.rows if r["system"] != "deTector"]
+        assert all(r["time_to_localization_s"] >= 30.0 for r in baseline_rows)
+
+    def test_paper_reference(self):
+        reference = figure5.paper_reference()
+        values = {row["system"]: row["probes_per_minute"] for row in reference.rows}
+        assert values["deTector"] < values["NetNORAD+fbtracert"] < values["Pingmesh+Netbouncer"]
+
+
+class TestFigure6:
+    def test_run_tiny(self):
+        table = figure6.run(radix=4, probe_budget_per_minute=4000, failure_counts=(1, 2), trials=3)
+        detector_rows = [r for r in table.rows if r["system"] == "deTector"]
+        assert len(detector_rows) == 2
+        assert all(0.0 <= r["accuracy_pct"] <= 100.0 for r in table.rows)
+        assert figure6.paper_reference_notes()
+
+
+class TestPLLComparison:
+    def test_run_tiny(self):
+        table = pll_comparison.run(radix=4, trials=4, failures_per_trial=1, probes_per_path=60)
+        algorithms = [row["algorithm"] for row in table.rows]
+        assert algorithms == ["PLL", "Tomo", "SCORE", "OMP"]
+        pll_row = table.rows[0]
+        assert pll_row["accuracy_pct"] >= 70.0
+        assert pll_row["mean_runtime_ms"] >= 0.0

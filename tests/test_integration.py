@@ -1,0 +1,173 @@
+"""End-to-end integration tests across module boundaries.
+
+These tests follow the paper's workflow (§3.2) through the public API only:
+path computation -> probing -> localization, across topologies, failure
+classes and operating conditions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import build_bcube, build_fattree, build_vl2, pmc_for_topology
+from repro.core import check_coverage, check_identifiability
+from repro.localization import (
+    PLLLocalizer,
+    aggregate_metrics,
+    evaluate_localization,
+    preprocess_observations,
+)
+from repro.monitor import ControllerConfig, DetectorSystem
+from repro.simulation import (
+    FailureGenerator,
+    FailureScenario,
+    LossMode,
+    ProbeConfig,
+    ProbeSimulator,
+)
+
+
+class TestCycleOnAlternativeTopologies:
+    @pytest.mark.parametrize(
+        "topology_factory",
+        [lambda: build_vl2(6, 4, 0), lambda: build_bcube(3, 1)],
+        ids=["vl2", "bcube"],
+    )
+    def test_pmc_plus_pll_cycle(self, topology_factory, rng):
+        topology = topology_factory()
+        result = pmc_for_topology(topology, alpha=2, beta=1)
+        probe_matrix = result.probe_matrix
+        assert check_coverage(probe_matrix, 2)
+        assert check_identifiability(probe_matrix, 1)
+
+        bad = probe_matrix.link_ids[len(probe_matrix.link_ids) // 2]
+        simulator = ProbeSimulator(topology, FailureScenario.single_link(bad), rng)
+        observations = simulator.observe_probe_matrix(probe_matrix, ProbeConfig(probes_per_path=50))
+        cleaned = preprocess_observations(probe_matrix, observations)
+        verdict = PLLLocalizer().localize(probe_matrix, cleaned.observations)
+        assert verdict.suspected_links == [bad]
+
+
+class TestAccuracyTargets:
+    def test_single_failure_accuracy_matches_paper_ballpark(self, fattree4):
+        """At the paper's operating point (10 pps, alpha=3, beta=1) accuracy is ~95%+."""
+        rng = np.random.default_rng(1)
+        system = DetectorSystem(
+            fattree4, rng, ControllerConfig(alpha=3, beta=1, probes_per_second=10)
+        )
+        system.run_controller_cycle()
+        generator = FailureGenerator(fattree4, rng)
+        metrics = [system.run_window(generator.generate_single()).metrics for _ in range(25)]
+        aggregated = aggregate_metrics(metrics)
+        assert aggregated["accuracy"] >= 0.9
+        assert aggregated["false_positive_ratio"] <= 0.05
+
+    def test_accuracy_improves_with_probe_frequency(self, fattree4):
+        """The Fig. 4(a) trend: more probes per window, better localization."""
+        accuracies = {}
+        for frequency in (1, 20):
+            rng = np.random.default_rng(3)
+            system = DetectorSystem(
+                fattree4, rng, ControllerConfig(alpha=3, beta=1, probes_per_second=frequency)
+            )
+            system.run_controller_cycle()
+            generator = FailureGenerator(fattree4, rng)
+            metrics = [system.run_window(generator.generate_single()).metrics for _ in range(20)]
+            accuracies[frequency] = aggregate_metrics(metrics)["accuracy"]
+        assert accuracies[20] >= accuracies[1]
+
+    def test_identifiability_beats_coverage_per_path(self, fattree6):
+        """The Table 4 trend: identifiability buys more accuracy per selected path.
+
+        A (1,1) matrix must clearly beat the 0-identifiability (1,0) matrix and
+        reach at least the accuracy of the (2,0) matrix while using fewer paths.
+        """
+        results = {}
+        path_counts = {}
+        for alpha, beta in ((1, 0), (2, 0), (1, 1)):
+            result = pmc_for_topology(fattree6, alpha=alpha, beta=beta)
+            probe_matrix = result.probe_matrix
+            path_counts[(alpha, beta)] = result.num_paths
+            rng = np.random.default_rng(17)
+            generator = FailureGenerator(fattree6, rng)
+            metrics = []
+            for _ in range(10):
+                scenario = generator.generate(3)
+                simulator = ProbeSimulator(fattree6, scenario, rng)
+                observations = simulator.observe_probe_matrix(
+                    probe_matrix, ProbeConfig(probes_per_path=80)
+                )
+                cleaned = preprocess_observations(probe_matrix, observations)
+                verdict = PLLLocalizer().localize(probe_matrix, cleaned.observations)
+                metrics.append(
+                    evaluate_localization(
+                        scenario.bad_link_ids, verdict.suspected_links, probe_matrix.link_ids
+                    )
+                )
+            results[(alpha, beta)] = aggregate_metrics(metrics)["accuracy"]
+        assert results[(1, 1)] >= results[(1, 0)] + 0.15
+        assert results[(1, 1)] >= results[(2, 0)] - 0.05
+        assert path_counts[(1, 1)] < path_counts[(2, 0)]
+
+
+class TestOperationalScenarios:
+    def test_probe_matrix_recomputation_after_reported_failure(self, fattree4):
+        """§6.1 footnote: once a link is known bad, the next cycle avoids it."""
+        rng = np.random.default_rng(9)
+        system = DetectorSystem(fattree4, rng, ControllerConfig(alpha=2, beta=1))
+        system.run_controller_cycle()
+        bad = fattree4.switch_links[7].link_id
+        outcome = system.run_window(FailureScenario.single_link(bad))
+        assert bad in outcome.suspected_links
+
+        # Operator confirms the failure; the watchdog records it and the next
+        # controller cycle plans around the dead link.
+        system.watchdog.report_failed_link(bad)
+        cycle = system.run_controller_cycle()
+        for index in range(cycle.probe_matrix.num_paths):
+            assert bad not in cycle.probe_matrix.links_on(index)
+
+        # Monitoring continues and still catches new failures elsewhere.
+        other = next(
+            l.link_id for l in fattree4.switch_links
+            if l.link_id != bad and cycle.probe_matrix.paths_through(l.link_id)
+        )
+        outcome2 = system.run_window(FailureScenario.single_link(other))
+        assert other in outcome2.suspected_links
+
+    def test_transient_failure_detected_within_single_window(self, fattree4):
+        """Transient failures are caught because localization needs no second round."""
+        rng = np.random.default_rng(21)
+        system = DetectorSystem(fattree4, rng, ControllerConfig(alpha=3, beta=1))
+        system.run_controller_cycle()
+        bad = fattree4.switch_links[25].link_id
+        outcome = system.run_window(FailureScenario.single_link(bad))
+        assert bad in outcome.suspected_links
+        # Next window the failure is gone; no stale alerts are produced.
+        healthy = system.run_window(FailureScenario())
+        assert healthy.suspected_links == []
+
+    def test_mixed_concurrent_failure_modes(self, fattree4, fattree4_probe_matrix, rng):
+        links = fattree4_probe_matrix.link_ids
+        scenario = FailureScenario()
+        from repro.simulation import LinkFailure
+
+        scenario.add(LinkFailure(link_id=links[4], mode=LossMode.FULL))
+        scenario.add(
+            LinkFailure(link_id=links[20], mode=LossMode.DETERMINISTIC_PARTIAL, match_fraction=0.4)
+        )
+        scenario.add(
+            LinkFailure(link_id=links[30], mode=LossMode.RANDOM_PARTIAL, loss_rate=0.2)
+        )
+        simulator = ProbeSimulator(fattree4, scenario, rng)
+        observations = simulator.observe_probe_matrix(
+            fattree4_probe_matrix, ProbeConfig(probes_per_path=200)
+        )
+        cleaned = preprocess_observations(fattree4_probe_matrix, observations)
+        verdict = PLLLocalizer().localize(fattree4_probe_matrix, cleaned.observations)
+        metrics = evaluate_localization(
+            scenario.bad_link_ids, verdict.suspected_links, fattree4_probe_matrix.link_ids
+        )
+        assert metrics.accuracy >= 2 / 3
+        assert metrics.false_positive_ratio <= 1 / 3

@@ -1,0 +1,96 @@
+"""Tests for latency-spike detection (RTT > threshold treated as a loss)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    PLLLocalizer,
+    RTTObservationAdapter,
+    RTTThresholdConfig,
+    evaluate_localization,
+)
+from repro.routing import enumerate_fattree_paths
+from repro.simulation import LatencyModel
+
+
+class TestRTTThresholdConfig:
+    def test_is_spike(self):
+        config = RTTThresholdConfig(threshold_us=1000)
+        assert config.is_spike(1500)
+        assert not config.is_spike(900)
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(threshold_us=0), dict(threshold_us=2000, timeout_us=1000)]
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            RTTThresholdConfig(**kwargs)
+
+
+class TestAdapter:
+    def test_path_observation_counts_spikes(self):
+        adapter = RTTObservationAdapter(RTTThresholdConfig(threshold_us=1000))
+        observation = adapter.path_observation(3, [500, 1500, 900, 2500])
+        assert observation.path_index == 3
+        assert observation.sent == 4 and observation.lost == 2
+
+    def test_observations_skip_empty_and_validate_index(self, fattree4_probe_matrix):
+        adapter = RTTObservationAdapter(RTTThresholdConfig(threshold_us=1000))
+        observations = adapter.observations(
+            fattree4_probe_matrix, {0: [500, 2000], 1: []}
+        )
+        assert 0 in observations and 1 not in observations
+        with pytest.raises(KeyError):
+            adapter.observations(fattree4_probe_matrix, {10_000: [1.0]})
+
+    def test_baseline_threshold(self):
+        adapter = RTTObservationAdapter()
+        derived = adapter.baseline_threshold([100.0, 200.0, 300.0], multiplier=3.0)
+        assert derived.threshold_us == pytest.approx(900.0)
+        with pytest.raises(ValueError):
+            adapter.baseline_threshold([], multiplier=3.0)
+        with pytest.raises(ValueError):
+            adapter.baseline_threshold([100.0], multiplier=1.0)
+
+    def test_threshold_capped_at_timeout(self):
+        adapter = RTTObservationAdapter(RTTThresholdConfig(threshold_us=500, timeout_us=1000))
+        derived = adapter.baseline_threshold([900.0], multiplier=5.0)
+        assert derived.threshold_us == 1000.0
+
+
+class TestLatencyLocalizationEndToEnd:
+    def test_congested_link_localized_from_rtt_spikes(self, fattree4, fattree4_probe_matrix):
+        """A heavily congested link causes RTT spikes on exactly its probe paths;
+        thresholding those RTTs and running PLL pinpoints the link -- the paper's
+        'treat a slow RTT as a loss' claim."""
+        rng = np.random.default_rng(5)
+        model = LatencyModel()
+        congested_link = fattree4_probe_matrix.link_ids[13]
+        utilization = {l: 0.05 for l in fattree4_probe_matrix.link_ids}
+        utilization[congested_link] = 0.96
+
+        samples_by_path = {}
+        for index, path in enumerate(fattree4_probe_matrix.paths):
+            samples_by_path[index] = list(
+                model.sample_path_rtt_us(path, utilization, rng, num_samples=50)
+            )
+
+        # Derive the spike threshold from a healthy path's samples.
+        healthy_index = next(
+            i for i in range(fattree4_probe_matrix.num_paths)
+            if congested_link not in fattree4_probe_matrix.links_on(i)
+        )
+        adapter = RTTObservationAdapter()
+        adapter = RTTObservationAdapter(
+            adapter.baseline_threshold(samples_by_path[healthy_index], multiplier=3.0)
+        )
+
+        observations = adapter.observations(fattree4_probe_matrix, samples_by_path)
+        verdict = PLLLocalizer().localize(fattree4_probe_matrix, observations)
+        metrics = evaluate_localization(
+            [congested_link], verdict.suspected_links, fattree4_probe_matrix.link_ids
+        )
+        assert congested_link in verdict.suspected_links
+        assert metrics.false_positive_ratio <= 0.5

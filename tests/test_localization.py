@@ -1,0 +1,270 @@
+"""Tests for the localization algorithms: PLL, Tomo, SCORE, OMP and the metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.localization import (
+    ConfusionCounts,
+    ObservationSet,
+    OMPConfig,
+    OMPLocalizer,
+    PathObservation,
+    PLLConfig,
+    PLLLocalizer,
+    ScoreConfig,
+    ScoreLocalizer,
+    TomoConfig,
+    TomoLocalizer,
+    aggregate_metrics,
+    evaluate_localization,
+    preprocess_observations,
+)
+from repro.simulation import FailureScenario, LossMode, ProbeConfig, ProbeSimulator
+
+
+def observations_for_failure(probe_matrix, failed_links, loss_fraction=1.0, sent=100):
+    """Synthetic observations: paths through a failed link lose a fraction of probes."""
+    failed = set(failed_links)
+    observations = ObservationSet()
+    for index in range(probe_matrix.num_paths):
+        hit = probe_matrix.links_on(index) & failed
+        lost = int(round(sent * loss_fraction)) if hit else 0
+        observations.add(PathObservation(index, sent=sent, lost=lost))
+    return observations
+
+
+class TestMetrics:
+    def test_perfect_localization(self):
+        counts = evaluate_localization([1, 2], [1, 2], range(10))
+        assert counts.accuracy == 1.0
+        assert counts.false_positive_ratio == 0.0
+        assert counts.false_negative_ratio == 0.0
+        assert counts.true_negatives == 8
+
+    def test_partial_localization(self):
+        counts = evaluate_localization([1, 2, 3], [1, 5], range(10))
+        assert counts.accuracy == pytest.approx(1 / 3)
+        assert counts.false_positive_ratio == pytest.approx(1 / 2)
+        assert counts.false_negative_ratio == pytest.approx(2 / 3)
+        assert counts.precision == pytest.approx(1 / 2)
+
+    def test_no_failures_no_suspects(self):
+        counts = evaluate_localization([], [], range(5))
+        assert counts.accuracy == 1.0
+        assert counts.false_positive_ratio == 0.0
+
+    def test_out_of_universe_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_localization([99], [], range(5))
+        with pytest.raises(ValueError):
+            evaluate_localization([], [99], range(5))
+
+    def test_as_dict(self):
+        counts = evaluate_localization([1], [1], range(3))
+        data = counts.as_dict()
+        assert data["tp"] == 1 and data["accuracy"] == 1.0
+
+    def test_aggregate(self):
+        counts = [
+            evaluate_localization([1], [1], range(4)),
+            evaluate_localization([1], [2], range(4)),
+        ]
+        aggregated = aggregate_metrics(counts)
+        assert aggregated["accuracy"] == pytest.approx(0.5)
+        assert aggregated["trials"] == 2
+
+    def test_aggregate_empty(self):
+        aggregated = aggregate_metrics([])
+        assert aggregated["trials"] == 0
+        assert aggregated["accuracy"] == 1.0
+
+
+class TestPLL:
+    def test_single_full_failure(self, fattree4_probe_matrix):
+        bad = fattree4_probe_matrix.link_ids[5]
+        observations = observations_for_failure(fattree4_probe_matrix, [bad])
+        result = PLLLocalizer().localize(fattree4_probe_matrix, observations)
+        assert result.suspected_links == [bad]
+        assert result.unexplained_paths == []
+        assert result.algorithm == "PLL"
+
+    def test_two_full_failures(self, fattree4_probe_matrix):
+        bad = [fattree4_probe_matrix.link_ids[3], fattree4_probe_matrix.link_ids[20]]
+        observations = observations_for_failure(fattree4_probe_matrix, bad)
+        result = PLLLocalizer().localize(fattree4_probe_matrix, observations)
+        assert set(result.suspected_links) == set(bad)
+
+    def test_no_losses_no_suspects(self, fattree4_probe_matrix):
+        observations = observations_for_failure(fattree4_probe_matrix, [])
+        result = PLLLocalizer().localize(fattree4_probe_matrix, observations)
+        assert result.suspected_links == []
+
+    def test_loss_rate_estimation(self, fattree4_probe_matrix):
+        bad = fattree4_probe_matrix.link_ids[5]
+        observations = observations_for_failure(fattree4_probe_matrix, [bad], loss_fraction=0.4)
+        result = PLLLocalizer().localize(fattree4_probe_matrix, observations)
+        assert result.suspected_links == [bad]
+        assert result.estimated_loss_rates[bad] == pytest.approx(0.4, abs=0.05)
+
+    def test_hit_ratio_threshold_filters_partial_evidence(self, fattree4_probe_matrix):
+        # Make only one of the bad link's paths lossy: with a 0.6 threshold the
+        # link is not a candidate and the loss stays unexplained.
+        bad = fattree4_probe_matrix.link_ids[0]
+        paths_through = fattree4_probe_matrix.paths_through(bad)
+        observations = ObservationSet()
+        for index in range(fattree4_probe_matrix.num_paths):
+            lost = 50 if index == paths_through[0] else 0
+            observations.add(PathObservation(index, sent=100, lost=lost))
+        strict = PLLLocalizer(PLLConfig(hit_ratio_threshold=0.9))
+        result = strict.localize(fattree4_probe_matrix, observations)
+        assert result.suspected_links == []
+        assert result.unexplained_paths == [paths_through[0]]
+        # With explain_all the fallback greedy blames some link on the path.
+        fallback = PLLLocalizer(PLLConfig(hit_ratio_threshold=0.9, explain_all=True))
+        result2 = fallback.localize(fattree4_probe_matrix, observations)
+        assert result2.unexplained_paths == []
+
+    def test_decomposition_toggle_same_result(self, fattree4_probe_matrix):
+        bad = [fattree4_probe_matrix.link_ids[7], fattree4_probe_matrix.link_ids[29]]
+        observations = observations_for_failure(fattree4_probe_matrix, bad)
+        with_decomposition = PLLLocalizer(PLLConfig(use_decomposition=True)).localize(
+            fattree4_probe_matrix, observations
+        )
+        without = PLLLocalizer(PLLConfig(use_decomposition=False)).localize(
+            fattree4_probe_matrix, observations
+        )
+        assert set(with_decomposition.suspected_links) == set(without.suspected_links)
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PLLConfig(hit_ratio_threshold=1.5)
+
+    def test_partial_loss_localized(self, fattree4_probe_matrix, fattree4, rng):
+        # End-to-end with the simulator: a deterministic blackhole is found.
+        bad = fattree4.switch_links[10].link_id
+        scenario = FailureScenario.single_link(
+            bad, mode=LossMode.DETERMINISTIC_PARTIAL, match_fraction=0.3
+        )
+        simulator = ProbeSimulator(fattree4, scenario, rng)
+        observations = simulator.observe_probe_matrix(
+            fattree4_probe_matrix, ProbeConfig(probes_per_path=150)
+        )
+        cleaned = preprocess_observations(fattree4_probe_matrix, observations)
+        result = PLLLocalizer().localize(fattree4_probe_matrix, cleaned.observations)
+        assert bad in result.suspected_links
+
+
+class TestTomo:
+    def test_single_full_failure(self, fattree4_probe_matrix):
+        bad = fattree4_probe_matrix.link_ids[9]
+        observations = observations_for_failure(fattree4_probe_matrix, [bad])
+        result = TomoLocalizer().localize(fattree4_probe_matrix, observations)
+        assert result.suspected_links == [bad]
+
+    def test_partial_loss_confuses_tomo(self, fattree4_probe_matrix):
+        # Only some paths over the bad link are lossy (blackhole); pruning on
+        # good paths removes the bad link from the candidates.
+        bad = fattree4_probe_matrix.link_ids[4]
+        paths_through = list(fattree4_probe_matrix.paths_through(bad))
+        lossy = set(paths_through[: len(paths_through) // 2 + 1])
+        observations = ObservationSet()
+        for index in range(fattree4_probe_matrix.num_paths):
+            observations.add(
+                PathObservation(index, sent=100, lost=60 if index in lossy else 0)
+            )
+        result = TomoLocalizer().localize(fattree4_probe_matrix, observations)
+        assert bad not in result.suspected_links
+        unpruned = TomoLocalizer(TomoConfig(prune_on_good_paths=False)).localize(
+            fattree4_probe_matrix, observations
+        )
+        assert bad in unpruned.suspected_links
+
+    def test_no_losses(self, fattree4_probe_matrix):
+        observations = observations_for_failure(fattree4_probe_matrix, [])
+        assert TomoLocalizer().localize(fattree4_probe_matrix, observations).suspected_links == []
+
+
+class TestScore:
+    def test_single_full_failure(self, fattree4_probe_matrix):
+        bad = fattree4_probe_matrix.link_ids[12]
+        observations = observations_for_failure(fattree4_probe_matrix, [bad])
+        result = ScoreLocalizer().localize(fattree4_probe_matrix, observations)
+        assert result.suspected_links == [bad]
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ScoreConfig(hit_ratio_threshold=0.0)
+
+    def test_lower_threshold_catches_partial_loss(self, fattree4_probe_matrix):
+        bad = fattree4_probe_matrix.link_ids[4]
+        paths_through = list(fattree4_probe_matrix.paths_through(bad))
+        lossy = set(paths_through[:-1])  # one healthy path over the bad link
+        observations = ObservationSet()
+        for index in range(fattree4_probe_matrix.num_paths):
+            observations.add(
+                PathObservation(index, sent=100, lost=60 if index in lossy else 0)
+            )
+        classic = ScoreLocalizer().localize(fattree4_probe_matrix, observations)
+        relaxed = ScoreLocalizer(ScoreConfig(hit_ratio_threshold=0.5)).localize(
+            fattree4_probe_matrix, observations
+        )
+        assert bad not in classic.suspected_links
+        assert bad in relaxed.suspected_links
+
+
+class TestOMP:
+    def test_single_full_failure(self, fattree4_probe_matrix):
+        bad = fattree4_probe_matrix.link_ids[15]
+        observations = observations_for_failure(fattree4_probe_matrix, [bad], loss_fraction=0.5)
+        result = OMPLocalizer().localize(fattree4_probe_matrix, observations)
+        assert bad in result.suspected_links
+        assert result.estimated_loss_rates[bad] > 0.1
+
+    def test_no_observations(self, fattree4_probe_matrix):
+        result = OMPLocalizer().localize(fattree4_probe_matrix, ObservationSet())
+        assert result.suspected_links == []
+
+    def test_no_losses(self, fattree4_probe_matrix):
+        observations = observations_for_failure(fattree4_probe_matrix, [])
+        assert OMPLocalizer().localize(fattree4_probe_matrix, observations).suspected_links == []
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            OMPConfig(residual_tolerance=0)
+        with pytest.raises(ValueError):
+            OMPConfig(clip_loss_rate=1.5)
+
+    def test_max_support_limits_suspects(self, fattree4_probe_matrix):
+        bad = [fattree4_probe_matrix.link_ids[1], fattree4_probe_matrix.link_ids[18]]
+        observations = observations_for_failure(fattree4_probe_matrix, bad, loss_fraction=0.5)
+        result = OMPLocalizer(OMPConfig(max_support=1)).localize(
+            fattree4_probe_matrix, observations
+        )
+        assert len(result.suspected_links) <= 1
+
+
+class TestCrossAlgorithm:
+    def test_pll_not_worse_than_tomo_on_blackholes(self, fattree4, fattree4_probe_matrix):
+        """PLL's hit-ratio filter must beat Tomo's pruning on partial losses."""
+        rng = np.random.default_rng(99)
+        pll_hits = 0
+        tomo_hits = 0
+        trials = 12
+        for trial in range(trials):
+            bad = fattree4.switch_links[(3 * trial) % len(fattree4.switch_links)].link_id
+            scenario = FailureScenario.single_link(
+                bad, mode=LossMode.DETERMINISTIC_PARTIAL, match_fraction=0.25
+            )
+            simulator = ProbeSimulator(fattree4, scenario, rng)
+            observations = simulator.observe_probe_matrix(
+                fattree4_probe_matrix, ProbeConfig(probes_per_path=120)
+            )
+            cleaned = preprocess_observations(fattree4_probe_matrix, observations)
+            pll = PLLLocalizer().localize(fattree4_probe_matrix, cleaned.observations)
+            tomo = TomoLocalizer().localize(fattree4_probe_matrix, cleaned.observations)
+            pll_hits += int(bad in pll.suspected_links)
+            tomo_hits += int(bad in tomo.suspected_links)
+        assert pll_hits >= tomo_hits
+        assert pll_hits >= trials - 1

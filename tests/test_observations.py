@@ -1,0 +1,140 @@
+"""Tests for loss observations, merging and pre-processing (§5.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.localization import (
+    ObservationSet,
+    PathObservation,
+    PreprocessConfig,
+    merge_observations,
+    preprocess_observations,
+)
+
+
+class TestPathObservation:
+    def test_loss_rate(self):
+        assert PathObservation(0, sent=100, lost=5).loss_rate == pytest.approx(0.05)
+        assert PathObservation(0, sent=0, lost=0).loss_rate == 0.0
+
+    def test_is_lossy(self):
+        assert PathObservation(0, 10, 1).is_lossy
+        assert not PathObservation(0, 10, 0).is_lossy
+
+    @pytest.mark.parametrize("sent, lost", [(-1, 0), (0, -1), (5, 6)])
+    def test_invalid_counts_rejected(self, sent, lost):
+        with pytest.raises(ValueError):
+            PathObservation(0, sent=sent, lost=lost)
+
+
+class TestObservationSet:
+    def test_add_and_iterate_sorted(self):
+        observations = ObservationSet(
+            [PathObservation(3, 10, 0), PathObservation(1, 10, 2)]
+        )
+        assert [o.path_index for o in observations] == [1, 3]
+        assert len(observations) == 2
+        assert 3 in observations and 2 not in observations
+
+    def test_duplicate_paths_accumulate(self):
+        observations = ObservationSet()
+        observations.add(PathObservation(0, sent=10, lost=1))
+        observations.add(PathObservation(0, sent=20, lost=3))
+        merged = observations.get(0)
+        assert merged.sent == 30 and merged.lost == 4
+
+    def test_lossy_paths_and_losses(self):
+        observations = ObservationSet(
+            [PathObservation(0, 10, 0), PathObservation(1, 10, 4), PathObservation(2, 10, 1)]
+        )
+        assert observations.lossy_paths() == [1, 2]
+        assert observations.losses() == {1: 4, 2: 1}
+
+    def test_totals(self):
+        observations = ObservationSet([PathObservation(0, 10, 1), PathObservation(1, 5, 0)])
+        assert observations.total_sent() == 15
+        assert observations.total_lost() == 1
+
+    def test_restrict(self):
+        observations = ObservationSet(
+            [PathObservation(0, 10, 1), PathObservation(1, 10, 0), PathObservation(2, 10, 2)]
+        )
+        restricted = observations.restrict([0, 2])
+        assert restricted.path_indices() == [0, 2]
+
+    def test_merge_observations(self):
+        a = ObservationSet([PathObservation(0, 10, 1)])
+        b = ObservationSet([PathObservation(0, 10, 0), PathObservation(1, 10, 2)])
+        merged = merge_observations([a, b])
+        assert merged.get(0).sent == 20 and merged.get(0).lost == 1
+        assert merged.get(1).lost == 2
+
+
+class TestPreprocessConfig:
+    def test_defaults_follow_paper(self):
+        config = PreprocessConfig()
+        assert config.loss_ratio_threshold == pytest.approx(1e-3)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [dict(loss_ratio_threshold=2.0), dict(min_losses=0), dict(min_probes_for_ratio=0)],
+    )
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            PreprocessConfig(**kwargs)
+
+    def test_path_is_lossy_decision(self):
+        config = PreprocessConfig(loss_ratio_threshold=1e-3, min_losses=3, min_probes_for_ratio=10)
+        assert not config.path_is_lossy(PathObservation(0, 100, 0))
+        assert config.path_is_lossy(PathObservation(0, 100, 3))  # absolute trigger
+        assert config.path_is_lossy(PathObservation(0, 1000, 2))  # ratio trigger
+        assert not config.path_is_lossy(PathObservation(0, 5, 1))  # too few probes
+
+
+class TestPreprocessing:
+    def make_observations(self, probe_matrix, lossy_index, lost=50, sent=100):
+        observations = ObservationSet()
+        for index in range(probe_matrix.num_paths):
+            observations.add(
+                PathObservation(index, sent=sent, lost=lost if index == lossy_index else 0)
+            )
+        return observations
+
+    def test_noise_filtered_out(self, fattree4_probe_matrix):
+        observations = self.make_observations(fattree4_probe_matrix, lossy_index=0, lost=1, sent=10000)
+        report = preprocess_observations(fattree4_probe_matrix, observations)
+        assert report.filtered_noise_paths == [0]
+        assert report.lossy_paths == []
+        # The filtered path is retained as healthy evidence.
+        assert report.observations.get(0).lost == 0
+
+    def test_genuine_loss_kept(self, fattree4_probe_matrix):
+        observations = self.make_observations(fattree4_probe_matrix, lossy_index=2, lost=50)
+        report = preprocess_observations(fattree4_probe_matrix, observations)
+        assert report.lossy_paths == [2]
+        assert report.filtered_noise_paths == []
+
+    def test_unhealthy_server_paths_dropped(self, fattree4_probe_matrix):
+        observations = self.make_observations(fattree4_probe_matrix, lossy_index=0, lost=80)
+        bad_endpoint = fattree4_probe_matrix.path(0).src
+        report = preprocess_observations(
+            fattree4_probe_matrix, observations, unhealthy_servers=[bad_endpoint]
+        )
+        assert 0 in report.dropped_outlier_paths
+        assert 0 not in report.observations
+
+    def test_custom_threshold(self, fattree4_probe_matrix):
+        observations = self.make_observations(fattree4_probe_matrix, lossy_index=1, lost=4, sent=100)
+        strict = preprocess_observations(
+            fattree4_probe_matrix,
+            observations,
+            config=PreprocessConfig(min_losses=10, loss_ratio_threshold=0.5),
+        )
+        assert strict.lossy_paths == []
+        lenient = preprocess_observations(
+            fattree4_probe_matrix,
+            observations,
+            config=PreprocessConfig(min_losses=2),
+        )
+        assert lenient.lossy_paths == [1]

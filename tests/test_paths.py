@@ -1,0 +1,219 @@
+"""Tests for candidate-path enumeration (Fattree, VL2, BCube, generic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import (
+    Path,
+    enumerate_bcube_paths,
+    enumerate_candidate_paths,
+    enumerate_fattree_paths,
+    enumerate_shortest_paths,
+    enumerate_vl2_paths,
+    walk_link_sequence,
+    walk_to_link_ids,
+)
+from repro.topology import (
+    TopologyError,
+    bcube_counts,
+    build_bcube,
+    build_fattree,
+    build_vl2,
+    fattree_counts,
+    vl2_counts,
+)
+
+
+def assert_walk_is_connected(topology, path: Path) -> None:
+    for a, b in zip(path.nodes, path.nodes[1:]):
+        assert topology.has_link(a, b), f"hop {a} -> {b} missing on path {path.path_id}"
+
+
+class TestWalkHelpers:
+    def test_walk_to_link_ids(self, fattree4):
+        walk = ("pod0_edge0", "pod0_agg0", "core0_0")
+        ids = walk_to_link_ids(fattree4, walk)
+        assert len(ids) == 2
+
+    def test_walk_with_repeated_link_collapses(self, fattree4):
+        walk = ("pod0_edge0", "pod0_agg0", "core0_0", "pod0_agg0", "pod0_edge1")
+        ids = walk_to_link_ids(fattree4, walk)
+        assert len(ids) == 3  # agg<->core traversed twice but is one link
+
+    def test_walk_link_sequence_preserves_order_and_duplicates(self, fattree4):
+        walk = ("pod0_edge0", "pod0_agg0", "core0_0", "pod0_agg0", "pod0_edge1")
+        sequence = walk_link_sequence(fattree4, walk)
+        assert len(sequence) == 4
+        assert sequence[1] == sequence[2]
+
+    def test_walk_with_missing_hop_raises(self, fattree4):
+        with pytest.raises(TopologyError):
+            walk_to_link_ids(fattree4, ("pod0_edge0", "core0_0"))
+
+
+class TestPathObject:
+    def test_reversed(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        path = paths[0]
+        reverse = path.reversed()
+        assert reverse.src == path.dst and reverse.dst == path.src
+        assert reverse.link_ids == path.link_ids
+        assert reverse.nodes == tuple(reversed(path.nodes))
+
+    def test_hop_count_and_len(self, fattree4):
+        path = enumerate_fattree_paths(fattree4, ordered=False)[0]
+        assert path.hop_count == len(path.nodes) - 1
+        assert len(path) == len(path.link_ids)
+
+
+class TestFattreePaths:
+    def test_ordered_count_matches_paper_formula(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=True)
+        assert len(paths) == fattree_counts(4)["original_paths"]
+
+    def test_unordered_is_half(self, fattree4):
+        ordered = enumerate_fattree_paths(fattree4, ordered=True)
+        unordered = enumerate_fattree_paths(fattree4, ordered=False)
+        assert len(ordered) == 2 * len(unordered)
+
+    def test_fattree6_ordered_count(self, fattree6):
+        paths = enumerate_fattree_paths(fattree6, ordered=True)
+        assert len(paths) == fattree_counts(6)["original_paths"]
+
+    def test_paths_are_realisable_walks(self, fattree4):
+        for path in enumerate_fattree_paths(fattree4, ordered=False):
+            assert_walk_is_connected(fattree4, path)
+
+    def test_interpod_paths_have_four_links(self, fattree4):
+        for path in enumerate_fattree_paths(fattree4, ordered=False):
+            src_pod = fattree4.node(path.src).pod
+            dst_pod = fattree4.node(path.dst).pod
+            if src_pod != dst_pod:
+                assert len(path.link_ids) == 4
+            else:
+                assert len(path.link_ids) == 3  # bounce path reuses the agg-core link
+
+    def test_paths_only_touch_switch_links(self, fattree4):
+        switch_link_ids = {l.link_id for l in fattree4.switch_links}
+        for path in enumerate_fattree_paths(fattree4, ordered=False):
+            assert path.link_ids <= switch_link_ids
+
+    def test_via_is_a_core_switch(self, fattree4):
+        cores = set(fattree4.core_switch_names())
+        for path in enumerate_fattree_paths(fattree4, ordered=False):
+            assert path.via in cores
+
+    def test_all_tor_pairs_covered(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        pairs = {(p.src, p.dst) for p in paths}
+        tors = [n.name for n in fattree4.tor_switches]
+        expected = {(a, b) for i, a in enumerate(tors) for b in tors[i + 1:]}
+        assert pairs == expected
+
+    def test_include_intrapod_agg_paths(self, fattree4):
+        base = enumerate_fattree_paths(fattree4, ordered=False)
+        extended = enumerate_fattree_paths(fattree4, ordered=False, include_intrapod_agg=True)
+        extra = len(extended) - len(base)
+        # One 2-hop path per (intra-pod ToR pair, aggregation switch): 4 pods * 1 pair * 2 aggs.
+        assert extra == 8
+        two_hop = [p for p in extended if len(p.nodes) == 3]
+        assert len(two_hop) == 8
+
+    def test_every_switch_link_has_candidate_coverage(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        covered = set()
+        for path in paths:
+            covered |= path.link_ids
+        assert covered == {l.link_id for l in fattree4.switch_links}
+
+
+class TestVL2Paths:
+    def test_ordered_count_matches_formula(self, vl2_small):
+        paths = enumerate_vl2_paths(vl2_small, ordered=True)
+        assert len(paths) == vl2_counts(4, 4, 2)["original_paths"]
+
+    def test_paths_are_realisable(self, vl2_small):
+        for path in enumerate_vl2_paths(vl2_small, ordered=False):
+            assert_walk_is_connected(vl2_small, path)
+
+    def test_paths_have_three_or_four_links(self, vl2_small):
+        # Four distinct links normally; three when the two ToRs share the
+        # chosen aggregation switch and the path bounces off it.
+        for path in enumerate_vl2_paths(vl2_small, ordered=False):
+            assert len(path.link_ids) in (3, 4)
+
+    def test_every_switch_link_coverable(self):
+        topology = build_vl2(8, 6, 0)
+        paths = enumerate_vl2_paths(topology, ordered=False)
+        covered = set()
+        for path in paths:
+            covered |= path.link_ids
+        assert covered == {l.link_id for l in topology.switch_links}
+
+
+class TestBCubePaths:
+    def test_ordered_count_matches_formula(self, bcube_small):
+        paths = enumerate_bcube_paths(bcube_small, ordered=True)
+        assert len(paths) == bcube_counts(4, 1)["original_paths"]
+
+    def test_paths_are_realisable(self, bcube_small):
+        for path in enumerate_bcube_paths(bcube_small, ordered=False):
+            assert_walk_is_connected(bcube_small, path)
+
+    def test_parallel_paths_per_pair(self, bcube_small):
+        paths = enumerate_bcube_paths(bcube_small, ordered=False)
+        by_pair = {}
+        for path in paths:
+            by_pair.setdefault((path.src, path.dst), []).append(path)
+        for members in by_pair.values():
+            assert len(members) == bcube_small.k + 1
+
+    def test_parallel_paths_are_distinct(self, bcube_small):
+        paths = enumerate_bcube_paths(bcube_small, ordered=False)
+        by_pair = {}
+        for path in paths:
+            by_pair.setdefault((path.src, path.dst), []).append(path)
+        for members in by_pair.values():
+            link_sets = [p.link_ids for p in members]
+            assert len(set(link_sets)) == len(link_sets)
+
+    def test_paths_start_and_end_correctly(self, bcube_small):
+        for path in enumerate_bcube_paths(bcube_small, ordered=False)[:50]:
+            assert path.nodes[0] == path.src
+            assert path.nodes[-1] == path.dst
+
+    def test_bcube_nk2_paths(self):
+        topology = build_bcube(2, 2)
+        paths = enumerate_bcube_paths(topology, ordered=True)
+        assert len(paths) == bcube_counts(2, 2)["original_paths"]
+        for path in paths:
+            assert_walk_is_connected(topology, path)
+
+
+class TestGenericEnumeration:
+    def test_dispatch_fattree(self, fattree4):
+        assert len(enumerate_candidate_paths(fattree4, ordered=True)) == 224
+
+    def test_dispatch_vl2(self, vl2_small):
+        assert len(enumerate_candidate_paths(vl2_small, ordered=True)) == 96
+
+    def test_dispatch_bcube(self, bcube_small):
+        assert len(enumerate_candidate_paths(bcube_small, ordered=True)) == 480
+
+    def test_shortest_paths_oracle_agrees_on_interpod_pairs(self, fattree4):
+        # For an inter-pod ToR pair, the k^2/4 shortest switch-level paths are
+        # exactly the per-core pinned paths the specialised enumerator builds.
+        src, dst = "pod0_edge0", "pod1_edge0"
+        oracle = enumerate_shortest_paths(fattree4, [(src, dst)])
+        specialised = [
+            p for p in enumerate_fattree_paths(fattree4, ordered=True)
+            if p.src == src and p.dst == dst
+        ]
+        assert {p.link_ids for p in oracle} == {p.link_ids for p in specialised}
+
+    def test_shortest_paths_max_per_pair(self, fattree4):
+        paths = enumerate_shortest_paths(
+            fattree4, [("pod0_edge0", "pod1_edge0")], max_paths_per_pair=2
+        )
+        assert len(paths) == 2

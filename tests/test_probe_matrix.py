@@ -1,0 +1,104 @@
+"""Tests for the ProbeMatrix container and its quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProbeMatrix
+from repro.routing import enumerate_fattree_paths
+
+
+class TestConstruction:
+    def test_from_selection(self, fattree4_routing):
+        probe_matrix = ProbeMatrix.from_selection(fattree4_routing, [0, 5, 10])
+        assert probe_matrix.num_paths == 3
+        assert probe_matrix.link_ids == fattree4_routing.link_ids
+        assert probe_matrix.links_on(0) == fattree4_routing.links_on(0)
+
+    def test_direct_construction(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)[:5]
+        probe_matrix = ProbeMatrix(fattree4, paths)
+        assert probe_matrix.num_paths == 5
+        assert probe_matrix.num_links == len(fattree4.switch_links)
+
+    def test_as_routing_matrix_round_trip(self, fattree4_probe_matrix):
+        routing = fattree4_probe_matrix.as_routing_matrix()
+        assert routing.num_paths == fattree4_probe_matrix.num_paths
+
+
+class TestQualityMetrics:
+    def test_full_matrix_satisfies_alpha3(self, fattree4_probe_matrix):
+        assert fattree4_probe_matrix.satisfies_coverage(3)
+        assert fattree4_probe_matrix.min_coverage() >= 3
+
+    def test_coverage_gap_non_negative(self, fattree4_probe_matrix):
+        assert fattree4_probe_matrix.coverage_gap() >= 0
+        assert (
+            fattree4_probe_matrix.coverage_gap()
+            == fattree4_probe_matrix.max_coverage() - fattree4_probe_matrix.min_coverage()
+        )
+
+    def test_uncovered_links_empty_for_full_matrix(self, fattree4_probe_matrix):
+        assert fattree4_probe_matrix.uncovered_links() == []
+
+    def test_partial_matrix_reports_uncovered(self, fattree4, fattree4_routing):
+        probe_matrix = ProbeMatrix.from_selection(fattree4_routing, [0])
+        uncovered = probe_matrix.uncovered_links()
+        assert len(uncovered) == probe_matrix.num_links - len(probe_matrix.links_on(0))
+        assert not probe_matrix.satisfies_coverage(1)
+
+    def test_zero_alpha_always_satisfied(self, fattree4, fattree4_routing):
+        probe_matrix = ProbeMatrix.from_selection(fattree4_routing, [])
+        assert probe_matrix.satisfies_coverage(0)
+
+    def test_summary_keys(self, fattree4_probe_matrix):
+        summary = fattree4_probe_matrix.summary()
+        assert set(summary) == {
+            "paths",
+            "links",
+            "min_coverage",
+            "max_coverage",
+            "mean_coverage",
+            "uncovered_links",
+        }
+
+
+class TestSyndromes:
+    def test_single_link_syndrome_matches_paths_through(self, fattree4_probe_matrix):
+        link = fattree4_probe_matrix.link_ids[0]
+        assert fattree4_probe_matrix.syndrome([link]) == frozenset(
+            fattree4_probe_matrix.paths_through(link)
+        )
+
+    def test_syndrome_is_union(self, fattree4_probe_matrix):
+        links = list(fattree4_probe_matrix.link_ids[:3])
+        union = frozenset()
+        for link in links:
+            union |= frozenset(fattree4_probe_matrix.paths_through(link))
+        assert fattree4_probe_matrix.syndrome(links) == union
+
+    def test_syndrome_ignores_links_outside_universe(self, fattree4, fattree4_probe_matrix):
+        server_link = fattree4.server_links[0].link_id
+        assert fattree4_probe_matrix.syndrome([server_link]) == frozenset()
+
+    def test_paths_by_source_groups_all_paths(self, fattree4_probe_matrix):
+        groups = fattree4_probe_matrix.paths_by_source()
+        assert sum(len(v) for v in groups.values()) == fattree4_probe_matrix.num_paths
+        for source, indices in groups.items():
+            for index in indices:
+                assert fattree4_probe_matrix.path(index).src == source
+
+
+class TestSerialization:
+    def test_json_round_trip(self, fattree4, fattree4_probe_matrix):
+        payload = fattree4_probe_matrix.to_json()
+        restored = ProbeMatrix.from_json(fattree4, payload)
+        assert restored.num_paths == fattree4_probe_matrix.num_paths
+        assert restored.link_ids == fattree4_probe_matrix.link_ids
+        for index in range(restored.num_paths):
+            assert restored.links_on(index) == fattree4_probe_matrix.links_on(index)
+
+    def test_json_wrong_topology_rejected(self, fattree6, fattree4_probe_matrix):
+        payload = fattree4_probe_matrix.to_json()
+        with pytest.raises(ValueError):
+            ProbeMatrix.from_json(fattree6, payload)

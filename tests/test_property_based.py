@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ExtendedLinkSpace,
+    LinkSetPartition,
+    ProbeMatrix,
+    check_identifiability,
+    decompose_by_link_sets,
+)
+from repro.localization import (
+    ObservationSet,
+    PathObservation,
+    PLLLocalizer,
+    evaluate_localization,
+)
+from repro.routing import Path
+from repro.topology import Tier, TopologyBuilder
+
+# ---------------------------------------------------------------------------
+# strategies
+# ---------------------------------------------------------------------------
+
+link_universe = st.integers(min_value=4, max_value=12)
+
+
+@st.composite
+def link_set_sequences(draw):
+    """A universe of links plus a handful of link subsets (candidate paths)."""
+    num_links = draw(link_universe)
+    universe = list(range(num_links))
+    num_sets = draw(st.integers(min_value=1, max_value=10))
+    subsets = [
+        frozenset(draw(st.sets(st.sampled_from(universe), min_size=1, max_size=num_links)))
+        for _ in range(num_sets)
+    ]
+    return universe, subsets
+
+
+def line_topology(num_links: int):
+    """A path graph with ``num_links`` switch links."""
+    builder = TopologyBuilder(f"line{num_links}")
+    builder.add_node("n0", Tier.EDGE)
+    for i in range(num_links):
+        builder.add_node(f"n{i + 1}", Tier.EDGE)
+        builder.add_link(f"n{i}", f"n{i + 1}")
+    return builder.build()
+
+
+# ---------------------------------------------------------------------------
+# LinkSetPartition invariants
+# ---------------------------------------------------------------------------
+
+
+@given(link_set_sequences())
+@settings(max_examples=60, deadline=None)
+def test_partition_refinement_invariants(data):
+    universe, subsets = data
+    partition = LinkSetPartition(len(universe))
+    for subset in subsets:
+        predicted = partition.splits_gained(subset)
+        cells_before = partition.num_cells
+        created = partition.split(subset)
+        # splits_gained is exact, cells only grow, and the cell count never
+        # exceeds the number of links.
+        assert created == predicted
+        assert partition.num_cells == cells_before + created
+        assert partition.num_cells <= partition.num_links
+    # Every link belongs to exactly one cell and cells partition the universe.
+    cells = partition.cells()
+    seen = set()
+    for members in cells.values():
+        assert not (members & seen)
+        seen |= members
+    assert seen == set(universe)
+    # Singleton bookkeeping agrees with the actual cell sizes.
+    assert partition.num_singletons == sum(1 for m in cells.values() if len(m) == 1)
+
+
+@given(link_set_sequences())
+@settings(max_examples=40, deadline=None)
+def test_partition_split_is_idempotent(data):
+    universe, subsets = data
+    partition = LinkSetPartition(len(universe))
+    for subset in subsets:
+        partition.split(subset)
+        # Splitting by the same set again must be a no-op.
+        assert partition.split(subset) == 0
+
+
+# ---------------------------------------------------------------------------
+# ExtendedLinkSpace invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=30), min_size=1, max_size=8),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=60, deadline=None)
+def test_extended_space_counts_and_membership(links, beta):
+    space = ExtendedLinkSpace(sorted(links), beta)
+    assert space.num_extended == space.expected_extended_count()
+    # Every extended link containing a physical link really contains it, and
+    # the OR semantics of path coverage hold.
+    for link in links:
+        for ext in space.extended_links_containing(link):
+            assert link in space.combination(ext)
+    on_path = space.extended_links_on_path(list(links)[:1])
+    first = next(iter(links))
+    assert all(first in space.combination(e) or len(space.combination(e)) > 1 for e in on_path)
+    # Singleton extended ids come first and are never virtual.
+    for link in links:
+        assert not space.is_virtual(space.physical_to_extended(link))
+
+
+# ---------------------------------------------------------------------------
+# Decomposition invariants
+# ---------------------------------------------------------------------------
+
+
+@given(link_set_sequences())
+@settings(max_examples=60, deadline=None)
+def test_decomposition_is_a_partition(data):
+    universe, subsets = data
+    subproblems = decompose_by_link_sets(subsets, universe)
+    all_links = [link for sp in subproblems for link in sp.link_ids]
+    assert sorted(all_links) == sorted(universe)
+    # No path is assigned to two subproblems, and a path's links never span
+    # two subproblems.
+    assigned = [index for sp in subproblems for index in sp.path_indices]
+    assert len(assigned) == len(set(assigned))
+    link_to_problem = {}
+    for problem_index, sp in enumerate(subproblems):
+        for link in sp.link_ids:
+            link_to_problem[link] = problem_index
+    for sp_index, sp in enumerate(subproblems):
+        for path_index in sp.path_indices:
+            problems = {link_to_problem[l] for l in subsets[path_index] if l in link_to_problem}
+            assert problems == {sp_index}
+
+
+# ---------------------------------------------------------------------------
+# Identifiability / syndrome invariants on a line topology
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers(min_value=2, max_value=6), st.data())
+@settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_one_identifiable_matrix_has_unique_syndromes(num_links, data):
+    topology = line_topology(num_links)
+    # Candidate paths: every contiguous segment of the line.
+    segments = []
+    names = [f"n{i}" for i in range(num_links + 1)]
+    for start in range(num_links):
+        for end in range(start + 1, num_links + 1):
+            nodes = tuple(names[start:end + 1])
+            links = frozenset(range(start, end))
+            segments.append(Path(len(segments), nodes, links, nodes[0], nodes[-1]))
+    # Pick a random subset of segments and check that our identifiability
+    # verdict agrees with a brute-force syndrome uniqueness check.
+    chosen = data.draw(
+        st.lists(st.sampled_from(segments), min_size=1, max_size=len(segments), unique=True)
+    )
+    probe_matrix = ProbeMatrix(topology, chosen)
+    syndromes = [probe_matrix.syndrome([l]) for l in probe_matrix.link_ids]
+    unique = len(set(syndromes)) == len(syndromes) and all(s for s in syndromes)
+    assert check_identifiability(probe_matrix, 1) == unique
+
+
+# ---------------------------------------------------------------------------
+# Localization invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_pll_explains_full_losses_on_line(data):
+    num_links = data.draw(st.integers(min_value=3, max_value=7))
+    topology = line_topology(num_links)
+    names = [f"n{i}" for i in range(num_links + 1)]
+    paths = []
+    for start in range(num_links):
+        for end in range(start + 1, num_links + 1):
+            nodes = tuple(names[start:end + 1])
+            paths.append(Path(len(paths), nodes, frozenset(range(start, end)), nodes[0], nodes[-1]))
+    probe_matrix = ProbeMatrix(topology, paths)
+    bad = data.draw(st.sets(st.integers(min_value=0, max_value=num_links - 1), min_size=1, max_size=2))
+    observations = ObservationSet()
+    for index in range(probe_matrix.num_paths):
+        lost = 100 if probe_matrix.links_on(index) & bad else 0
+        observations.add(PathObservation(index, sent=100, lost=lost))
+    result = PLLLocalizer().localize(probe_matrix, observations)
+    # Every lossy path must be explained by the suspects, and no suspect may
+    # be a link whose paths were all clean.
+    assert result.unexplained_paths == []
+    for suspect in result.suspected_links:
+        assert any(
+            observations.get(i).is_lossy for i in probe_matrix.paths_through(suspect)
+        )
+    metrics = evaluate_localization(bad, result.suspected_links, probe_matrix.link_ids)
+    assert metrics.accuracy >= 0.5  # at least one of <=2 failures is always found
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=19), max_size=5),
+    st.sets(st.integers(min_value=0, max_value=19), max_size=5),
+)
+@settings(max_examples=80, deadline=None)
+def test_metric_identities(truth, predicted):
+    counts = evaluate_localization(truth, predicted, range(20))
+    assert counts.true_positives + counts.false_negatives == len(truth)
+    assert counts.true_positives + counts.false_positives == len(predicted)
+    assert (
+        counts.true_positives + counts.false_positives + counts.false_negatives + counts.true_negatives
+        == 20
+    )
+    assert 0.0 <= counts.accuracy <= 1.0
+    assert 0.0 <= counts.false_positive_ratio <= 1.0
+    assert counts.accuracy + counts.false_negative_ratio == 1.0 or len(truth) == 0

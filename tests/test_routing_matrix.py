@@ -1,0 +1,93 @@
+"""Tests for the RoutingMatrix incidence structure and sparse export."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.routing import RoutingMatrix, enumerate_fattree_paths
+from repro.topology import build_fattree
+
+
+class TestRoutingMatrixBasics:
+    def test_dimensions(self, fattree4, fattree4_routing):
+        assert fattree4_routing.num_links == len(fattree4.switch_links)
+        assert fattree4_routing.num_paths == 112
+
+    def test_links_on_matches_path(self, fattree4_routing):
+        for index in range(0, fattree4_routing.num_paths, 10):
+            path = fattree4_routing.path(index)
+            assert fattree4_routing.links_on(index) == path.link_ids
+
+    def test_paths_through_inverse_of_links_on(self, fattree4_routing):
+        for link_id in fattree4_routing.link_ids:
+            for path_index in fattree4_routing.paths_through(link_id):
+                assert link_id in fattree4_routing.links_on(path_index)
+
+    def test_paths_through_unknown_link_raises(self, fattree4_routing):
+        with pytest.raises(KeyError):
+            fattree4_routing.paths_through(10_000)
+
+    def test_contains_link(self, fattree4, fattree4_routing):
+        switch_link = fattree4.switch_links[0].link_id
+        server_link = fattree4.server_links[0].link_id
+        assert fattree4_routing.contains_link(switch_link)
+        assert not fattree4_routing.contains_link(server_link)
+
+    def test_covered_and_uncovered(self, fattree4_routing):
+        assert set(fattree4_routing.covered_links()) == set(fattree4_routing.link_ids)
+        assert fattree4_routing.uncovered_links() == []
+
+    def test_coverage_histogram_totals(self, fattree4_routing):
+        histogram = fattree4_routing.coverage_histogram()
+        total_incidences = sum(histogram.values())
+        by_paths = sum(len(fattree4_routing.links_on(i)) for i in range(fattree4_routing.num_paths))
+        assert total_incidences == by_paths
+
+    def test_summary(self, fattree4_routing):
+        summary = fattree4_routing.summary()
+        assert summary["paths"] == 112
+        assert summary["uncovered_links"] == 0
+        assert summary["min_link_coverage"] >= 1
+
+
+class TestRoutingMatrixUniverse:
+    def test_custom_universe_restricts_links(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        universe = [l.link_id for l in fattree4.switch_links[:10]]
+        matrix = RoutingMatrix(fattree4, paths, link_ids=universe)
+        assert matrix.num_links == 10
+        for index in range(matrix.num_paths):
+            assert matrix.links_on(index) <= set(universe)
+
+    def test_uncoverable_links_reported(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)[:1]
+        matrix = RoutingMatrix(fattree4, paths)
+        assert len(matrix.uncovered_links()) == matrix.num_links - len(paths[0].link_ids)
+
+    def test_subset(self, fattree4_routing):
+        subset = fattree4_routing.subset([0, 1, 2])
+        assert subset.num_paths == 3
+        assert subset.link_ids == fattree4_routing.link_ids
+        assert subset.links_on(0) == fattree4_routing.links_on(0)
+
+
+class TestSparseExport:
+    def test_sparse_shape_and_content(self, fattree4_routing):
+        sparse = fattree4_routing.to_sparse()
+        assert sparse.shape == (fattree4_routing.num_paths, fattree4_routing.num_links)
+        dense = fattree4_routing.to_dense()
+        columns = fattree4_routing.column_index()
+        for index in range(0, fattree4_routing.num_paths, 25):
+            row = dense[index]
+            expected_columns = {columns[l] for l in fattree4_routing.links_on(index)}
+            assert set(np.nonzero(row)[0]) == expected_columns
+
+    def test_sparse_row_sums_equal_path_lengths(self, fattree4_routing):
+        dense = fattree4_routing.to_dense()
+        for index in range(fattree4_routing.num_paths):
+            assert dense[index].sum() == len(fattree4_routing.links_on(index))
+
+    def test_column_index_covers_all_links(self, fattree4_routing):
+        columns = fattree4_routing.column_index()
+        assert sorted(columns.values()) == list(range(fattree4_routing.num_links))

@@ -1,0 +1,139 @@
+"""Tests for the experiment runner, table export formats and budget accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BaselineConfig, NetNORADSystem, PingmeshSystem
+from repro.experiments import ExperimentSuite, ExperimentTable, default_suite, run_all
+from repro.monitor import ControllerConfig
+from repro.simulation import FailureScenario
+from repro.topology import build_fattree
+
+
+class TestTableExports:
+    def make_table(self):
+        table = ExperimentTable(title="demo", columns=["name", "value"])
+        table.add_row(name="a", value=1)
+        table.add_row(name="b", value=2.5)
+        table.add_note("demo note")
+        return table
+
+    def test_markdown(self):
+        markdown = self.make_table().render_markdown()
+        assert "| name | value |" in markdown
+        assert "| a | 1 |" in markdown
+        assert "*note: demo note*" in markdown
+
+    def test_csv(self):
+        csv_text = self.make_table().to_csv()
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "name,value"
+        assert lines[1] == "a,1"
+
+    def test_write_csv(self, tmp_path):
+        path = tmp_path / "out.csv"
+        self.make_table().write_csv(path)
+        assert path.read_text().startswith("name,value")
+
+
+class TestRunner:
+    def tiny_suite(self):
+        suite = ExperimentSuite(name="tiny")
+        table = ExperimentTable(title="t1", columns=["x"])
+        table.add_row(x=1)
+        suite.add("first", lambda: table)
+        other = ExperimentTable(title="t2", columns=["y"])
+        other.add_row(y=2)
+        suite.add("second", lambda: other)
+        return suite
+
+    def test_run_all_returns_runs(self):
+        runs = run_all(self.tiny_suite(), verbose=False)
+        assert [run.name for run in runs] == ["first", "second"]
+        assert all(run.elapsed_seconds >= 0 for run in runs)
+
+    def test_run_all_only_filter(self):
+        runs = run_all(self.tiny_suite(), only=["second"], verbose=False)
+        assert [run.name for run in runs] == ["second"]
+
+    def test_run_all_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(self.tiny_suite(), only=["ghost"], verbose=False)
+
+    def test_run_all_writes_outputs(self, tmp_path):
+        run_all(self.tiny_suite(), output_dir=tmp_path, verbose=False)
+        assert (tmp_path / "first.txt").exists()
+        assert (tmp_path / "first.csv").exists()
+        assert (tmp_path / "second.txt").exists()
+
+    def test_default_suite_names_cover_all_artifacts(self):
+        names = set(default_suite("quick").names())
+        assert {
+            "table2",
+            "table3",
+            "table4",
+            "table5",
+            "figure4",
+            "figure5",
+            "figure6",
+            "pll_comparison",
+        } <= names
+        assert set(default_suite("full").names()) == names
+        with pytest.raises(ValueError):
+            default_suite("enormous")
+
+
+class TestBaselineBudgetCap:
+    def test_budget_caps_total_probes(self):
+        topology = build_fattree(4)
+        budget = 800
+        config = BaselineConfig(probes_per_pair=5, probe_budget_per_window=budget)
+        system = PingmeshSystem(topology, np.random.default_rng(1), config)
+        bad = topology.switch_links[5].link_id
+        outcome = system.run_window(FailureScenario.single_link(bad))
+        assert outcome.total_probes <= budget + config.localization_probes_per_path
+
+    def test_budget_caps_netnorad_too(self):
+        topology = build_fattree(4)
+        budget = 600
+        config = BaselineConfig(probes_per_pair=5, probe_budget_per_window=budget)
+        system = NetNORADSystem(topology, np.random.default_rng(2), config)
+        bad = topology.switch_links[9].link_id
+        outcome = system.run_window(FailureScenario.single_link(bad))
+        assert outcome.total_probes <= budget + 4 * config.localization_probes_per_path
+
+    def test_localization_budget_helper(self):
+        config = BaselineConfig(probe_budget_per_window=100)
+        assert config.localization_budget(detection_probes=60) == 40
+        assert config.localization_budget(detection_probes=150) == 0
+        assert BaselineConfig().localization_budget(10) is None
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            BaselineConfig(probe_budget_per_window=0)
+
+
+class TestLossConfirmationKnob:
+    def test_zero_confirmations_keeps_exact_budget(self):
+        from repro.monitor import DetectorSystem
+
+        topology = build_fattree(4)
+        config = ControllerConfig(
+            alpha=3, beta=1, probes_per_second=10, loss_confirmation_probes=0
+        )
+        system = DetectorSystem(topology, np.random.default_rng(3), config)
+        system.run_controller_cycle()
+        bad = topology.switch_links[5].link_id
+        outcome = system.run_window(FailureScenario.single_link(bad))
+        nominal = sum(
+            max(1, int(pl.probes_per_second * pl.report_interval_seconds // max(pl.num_paths, 1)))
+            * pl.num_paths
+            for pl in system.cycle.pinglists.values()
+        )
+        assert outcome.probes_sent == nominal
+
+    def test_negative_confirmations_rejected(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(loss_confirmation_probes=-1)

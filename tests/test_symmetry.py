@@ -1,0 +1,110 @@
+"""Tests for structural symmetry discovery (path orbits, link roles)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.routing import enumerate_candidate_paths, enumerate_fattree_paths
+from repro.topology import (
+    PathOrbits,
+    build_fattree,
+    build_vl2,
+    link_orbits,
+    link_role,
+    node_role,
+    path_signature,
+)
+
+
+class TestNodeAndLinkRoles:
+    def test_same_role_for_symmetric_edge_switches(self, fattree4):
+        role_a = node_role(fattree4, "pod0_edge0")
+        role_b = node_role(fattree4, "pod3_edge0")
+        assert role_a == role_b
+
+    def test_aggregation_positions_are_interchangeable(self, fattree4):
+        # Swapping aggregation positions (together with core groups) is an
+        # automorphism of the Fattree, so the roles must coincide.
+        assert node_role(fattree4, "pod0_agg0") == node_role(fattree4, "pod0_agg1")
+
+    def test_tier_distinguishes_roles(self, fattree4):
+        assert node_role(fattree4, "core0_0") != node_role(fattree4, "pod0_edge0")
+
+    def test_link_role_is_symmetric_in_endpoints(self, fattree4):
+        link = fattree4.link_between("pod0_edge0", "pod0_agg0")
+        role = link_role(fattree4, link)
+        assert role == tuple(sorted(role))
+
+    def test_link_orbits_group_symmetric_links(self, fattree4):
+        orbits = link_orbits(fattree4, fattree4.switch_links)
+        # Fattree(4) inter-switch links fall into two structural classes:
+        # edge-aggregation and aggregation-core, 16 links each.
+        assert len(orbits) == 2
+        assert sorted(len(members) for members in orbits.values()) == [16, 16]
+
+
+class TestPathSignatures:
+    def test_interpod_paths_share_signature(self, fattree4):
+        walk_a = ("pod0_edge0", "pod0_agg0", "core0_0", "pod1_agg0", "pod1_edge0")
+        walk_b = ("pod2_edge0", "pod2_agg0", "core0_0", "pod3_agg0", "pod3_edge0")
+        assert path_signature(fattree4, walk_a) == path_signature(fattree4, walk_b)
+
+    def test_intrapod_and_interpod_differ(self, fattree4):
+        inter = ("pod0_edge0", "pod0_agg0", "core0_0", "pod1_agg0", "pod1_edge0")
+        intra = ("pod0_edge0", "pod0_agg0", "core0_0", "pod0_agg0", "pod0_edge1")
+        assert path_signature(fattree4, inter) != path_signature(fattree4, intra)
+
+    def test_different_agg_positions_are_isomorphic(self, fattree4):
+        # Routing through the other core group is an automorphic image.
+        low = ("pod0_edge0", "pod0_agg0", "core0_0", "pod1_agg0", "pod1_edge0")
+        high = ("pod0_edge0", "pod0_agg1", "core1_0", "pod1_agg1", "pod1_edge0")
+        assert path_signature(fattree4, low) == path_signature(fattree4, high)
+
+    def test_bounce_and_straight_paths_differ(self, vl2_small):
+        # A path that revisits a shared aggregation switch is not isomorphic to
+        # one crossing four distinct switches.
+        bounce = ("tor0", "agg0", "int0", "agg0", "tor2")
+        straight = ("tor0", "agg0", "int0", "agg2", "tor1")
+        assert path_signature(vl2_small, bounce) != path_signature(vl2_small, straight)
+
+
+class TestPathOrbits:
+    def test_orbits_partition_paths(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        orbits = PathOrbits.from_walks(fattree4, [p.nodes for p in paths])
+        assert sum(len(m) for m in orbits.members) == len(paths)
+        assert len(orbits.signature_of) == len(paths)
+
+    def test_orbit_membership_consistency(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        orbits = PathOrbits.from_walks(fattree4, [p.nodes for p in paths])
+        for orbit_index, members in enumerate(orbits.members):
+            for member in members:
+                assert orbits.orbit_of(member) == orbit_index
+
+    def test_representatives_one_per_orbit(self, fattree4):
+        paths = enumerate_fattree_paths(fattree4, ordered=False)
+        orbits = PathOrbits.from_walks(fattree4, [p.nodes for p in paths])
+        reps = orbits.representatives()
+        assert len(reps) == orbits.num_orbits
+        assert len({orbits.orbit_of(r) for r in reps}) == orbits.num_orbits
+
+    def test_fattree_orbit_count_is_small(self, fattree6):
+        # The whole point of symmetry reduction: the orbit count is much
+        # smaller than the candidate path count (pod identity is erased, so
+        # every signature class has at least one member per pod pair).
+        paths = enumerate_fattree_paths(fattree6, ordered=False)
+        orbits = PathOrbits.from_walks(fattree6, [p.nodes for p in paths])
+        assert orbits.num_orbits * 5 <= len(paths)
+        assert orbits.summary()["largest_orbit"] >= 10
+
+    def test_vl2_orbits(self):
+        topology = build_vl2(8, 6, 0)
+        paths = enumerate_candidate_paths(topology, ordered=False)
+        orbits = PathOrbits.from_walks(topology, [p.nodes for p in paths])
+        assert 1 <= orbits.num_orbits <= len(paths) // 10
+
+    def test_empty_orbits(self, fattree4):
+        orbits = PathOrbits.from_walks(fattree4, [])
+        assert orbits.num_orbits == 0
+        assert orbits.summary()["largest_orbit"] == 0

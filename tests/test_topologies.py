@@ -1,0 +1,237 @@
+"""Tests for the Fattree, VL2 and BCube generators against the paper's counts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import (
+    BCubeTopology,
+    FatTreeTopology,
+    Tier,
+    TopologyError,
+    VL2Topology,
+    bcube_counts,
+    build_bcube,
+    build_fattree,
+    build_vl2,
+    fattree_counts,
+    vl2_counts,
+)
+
+
+class TestFattreeCounts:
+    @pytest.mark.parametrize(
+        "k, nodes, links, original_paths",
+        [
+            # The first three rows of Table 2.
+            (12, 612, 1296, 184_032),
+            (24, 4176, 10368, 11_902_464),
+            (72, 99792, 279936, 8_703_770_112),
+        ],
+    )
+    def test_table2_rows(self, k, nodes, links, original_paths):
+        counts = fattree_counts(k)
+        assert counts["nodes"] == nodes
+        assert counts["links"] == links
+        assert counts["original_paths"] == original_paths
+
+    def test_fattree64_switch_links_match_paper(self):
+        # §4.4: "131072 links in Fattree(64)".
+        assert fattree_counts(64)["switch_links"] == 131_072
+
+    def test_fattree64_lower_bound(self):
+        # §4.4: at least k^3/5 = 52428.8 paths for (1,1) in Fattree(64).
+        assert fattree_counts(64)["min_paths_1cov_1ident"] == pytest.approx(52428.8)
+
+    @pytest.mark.parametrize("k", [0, 3, 5, -2])
+    def test_invalid_radix_rejected(self, k):
+        with pytest.raises(TopologyError):
+            fattree_counts(k)
+
+
+class TestFattreeStructure:
+    def test_built_counts_match_analytic(self, fattree4):
+        counts = fattree_counts(4)
+        summary = fattree4.summary()
+        assert summary["nodes"] == counts["nodes"]
+        assert summary["links"] == counts["links"]
+        assert summary["switch_links"] == counts["switch_links"]
+
+    def test_fattree6_counts(self, fattree6):
+        counts = fattree_counts(6)
+        assert len(fattree6.nodes) == counts["nodes"]
+        assert len(fattree6.links) == counts["links"]
+
+    def test_tor_count(self, fattree4):
+        assert len(fattree4.tor_switches) == fattree_counts(4)["tor_switches"]
+
+    def test_every_edge_switch_connects_all_pod_aggs(self, fattree4):
+        for pod in range(4):
+            for edge in fattree4.edge_switches_in_pod(pod):
+                for agg in fattree4.aggregation_switches_in_pod(pod):
+                    assert fattree4.has_link(edge, agg)
+
+    def test_agg_core_wiring_respects_groups(self, fattree4):
+        for core in fattree4.core_switch_names():
+            group = fattree4.core_group_of(core)
+            for pod in range(4):
+                agg = fattree4.agg_for_core(pod, core)
+                assert fattree4.has_link(agg, core)
+                assert fattree4.node(agg).attr("position") == group
+
+    def test_core_group_of_rejects_non_core(self, fattree4):
+        with pytest.raises(TopologyError):
+            fattree4.core_group_of("pod0_agg0")
+
+    def test_servers_per_edge_default(self, fattree4):
+        for tor in fattree4.tor_switches:
+            assert len(fattree4.servers_under(tor.name)) == 2
+
+    def test_custom_servers_per_edge(self):
+        topology = build_fattree(4, servers_per_edge=1)
+        assert len(topology.servers) == 8
+        assert topology.expected_counts()["servers"] == 8
+
+    def test_expected_counts_default(self, fattree4):
+        assert fattree4.expected_counts()["nodes"] == len(fattree4.nodes)
+
+    def test_degree_regularity(self, fattree6):
+        # Every switch in a Fattree(k) has degree k.
+        for switch in fattree6.switches:
+            assert fattree6.degree(switch.name) == 6
+
+    def test_pods_enumerated(self, fattree4):
+        assert fattree4.pods == [0, 1, 2, 3]
+
+    def test_zero_servers_allowed(self):
+        topology = build_fattree(4, servers_per_edge=0)
+        assert len(topology.servers) == 0
+        assert len(topology.switch_links) == fattree_counts(4)["switch_links"]
+
+
+class TestVL2Counts:
+    @pytest.mark.parametrize(
+        "d_a, d_i, t, nodes, links, original_paths",
+        [
+            # VL2 rows of Table 2 (the first row's path count is off by exactly
+            # 2x in the paper; we reproduce the consistent ordered-pair formula).
+            (40, 24, 40, 9884, 10560, 4_588_800),
+            (140, 120, 100, 424390, 436800, 4_938_024_000),
+        ],
+    )
+    def test_table2_rows(self, d_a, d_i, t, nodes, links, original_paths):
+        counts = vl2_counts(d_a, d_i, t)
+        assert counts["nodes"] == nodes
+        assert counts["links"] == links
+        assert counts["original_paths"] == original_paths
+
+    def test_vl2_20_12_20_nodes_links(self):
+        counts = vl2_counts(20, 12, 20)
+        assert counts["nodes"] == 1282
+        assert counts["links"] == 1440
+
+    def test_vl2_128_96_80_switch_links_match_paper(self):
+        # §4.4: "12288 links in VL2(128, 96, 80)".
+        assert vl2_counts(128, 96, 80)["switch_links"] == 12_288
+
+    @pytest.mark.parametrize("args", [(3, 4, 1), (0, 4, 1), (4, 0, 1), (4, 4, -1)])
+    def test_invalid_parameters_rejected(self, args):
+        with pytest.raises(TopologyError):
+            vl2_counts(*args)
+
+
+class TestVL2Structure:
+    def test_built_counts_match_analytic(self, vl2_small):
+        counts = vl2_counts(4, 4, 2)
+        assert len(vl2_small.nodes) == counts["nodes"]
+        assert len(vl2_small.links) == counts["links"]
+
+    def test_every_tor_is_dual_homed(self, vl2_small):
+        for tor in vl2_small.tor_switch_names:
+            assert len(vl2_small.aggs_of_tor(tor)) == 2
+
+    def test_agg_intermediate_complete_bipartite(self, vl2_small):
+        for agg in vl2_small.aggregation_switch_names:
+            for inter in vl2_small.intermediate_switch_names:
+                assert vl2_small.has_link(agg, inter)
+
+    def test_aggs_of_tor_rejects_non_tor(self, vl2_small):
+        with pytest.raises(TopologyError):
+            vl2_small.aggs_of_tor("agg0")
+
+    def test_servers_attached(self, vl2_small):
+        assert len(vl2_small.servers) == vl2_counts(4, 4, 2)["servers"]
+        for tor in vl2_small.tor_switch_names:
+            assert len(vl2_small.servers_under(tor)) == 2
+
+    def test_tor_switches_property(self, vl2_small):
+        assert {n.name for n in vl2_small.tor_switches} == set(vl2_small.tor_switch_names)
+
+
+class TestBCubeCounts:
+    @pytest.mark.parametrize(
+        "n, k, nodes, links, original_paths",
+        [
+            # BCube rows of Table 2.
+            (4, 2, 112, 192, 12_096),
+            (8, 2, 704, 1536, 784_896),
+            (8, 4, 53248, 163840, 5_368_545_280),
+        ],
+    )
+    def test_table2_rows(self, n, k, nodes, links, original_paths):
+        counts = bcube_counts(n, k)
+        assert counts["nodes"] == nodes
+        assert counts["links"] == links
+        assert counts["original_paths"] == original_paths
+
+    @pytest.mark.parametrize("args", [(1, 2), (0, 1), (4, -1)])
+    def test_invalid_parameters_rejected(self, args):
+        with pytest.raises(TopologyError):
+            bcube_counts(*args)
+
+
+class TestBCubeStructure:
+    def test_built_counts_match_analytic(self, bcube_small):
+        counts = bcube_counts(4, 1)
+        assert len(bcube_small.nodes) == counts["nodes"]
+        assert len(bcube_small.links) == counts["links"]
+
+    def test_servers_treated_as_switches(self, bcube_small):
+        # Paper footnote 2: servers are switches for probe-matrix purposes.
+        assert len(bcube_small.servers) == 0
+        assert len(bcube_small.switch_links) == len(bcube_small.links)
+
+    def test_every_server_has_level_plus_one_links(self, bcube_small):
+        for server in bcube_small.server_node_names():
+            assert bcube_small.degree(server) == bcube_small.levels
+
+    def test_switch_for_round_trip(self, bcube_small):
+        address = (2, 3)
+        server = bcube_small.server_name(address)
+        for level in range(bcube_small.levels):
+            switch = bcube_small.switch_for(address, level)
+            assert bcube_small.has_link(server, switch)
+
+    def test_neighbor_server(self, bcube_small):
+        neighbor = bcube_small.neighbor_server((1, 2), level=0, digit=3)
+        assert bcube_small.server_address(neighbor) == (1, 3)
+        neighbor_high = bcube_small.neighbor_server((1, 2), level=1, digit=0)
+        assert bcube_small.server_address(neighbor_high) == (0, 2)
+
+    def test_server_address_validation(self, bcube_small):
+        with pytest.raises(TopologyError):
+            bcube_small.server_name((1, 9))
+        with pytest.raises(TopologyError):
+            bcube_small.server_name((1, 2, 3))
+        with pytest.raises(TopologyError):
+            bcube_small.server_address("sw0_1")
+
+    def test_switch_for_level_out_of_range(self, bcube_small):
+        with pytest.raises(TopologyError):
+            bcube_small.switch_for((1, 2), level=5)
+
+    def test_larger_bcube_builds(self):
+        topology = build_bcube(3, 2)
+        counts = bcube_counts(3, 2)
+        assert len(topology.nodes) == counts["nodes"]
+        assert len(topology.links) == counts["links"]

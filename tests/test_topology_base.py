@@ -1,0 +1,247 @@
+"""Unit tests for the core graph model (nodes, links, Topology, TopologyBuilder)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.topology import Link, Node, Tier, Topology, TopologyBuilder, TopologyError
+
+
+def small_topology() -> Topology:
+    builder = TopologyBuilder("tiny")
+    builder.add_node("core0", Tier.CORE)
+    builder.add_node("agg0", Tier.AGGREGATION, pod=0, position=0)
+    builder.add_node("edge0", Tier.EDGE, pod=0, position=0)
+    builder.add_node("srv0", Tier.SERVER, pod=0)
+    builder.add_node("srv1", Tier.SERVER, pod=0)
+    builder.add_link("core0", "agg0")
+    builder.add_link("agg0", "edge0")
+    builder.add_link("edge0", "srv0")
+    builder.add_link("edge0", "srv1")
+    return builder.build()
+
+
+class TestTierAndNode:
+    def test_switch_tiers_are_switches(self):
+        assert Tier.is_switch(Tier.CORE)
+        assert Tier.is_switch(Tier.AGGREGATION)
+        assert Tier.is_switch(Tier.EDGE)
+
+    def test_server_is_not_switch(self):
+        assert not Tier.is_switch(Tier.SERVER)
+
+    def test_bcube_level_tier_counts_as_switch(self):
+        assert Tier.is_switch("bcube-level2")
+
+    def test_node_attr_lookup(self):
+        node = Node(name="n", tier=Tier.EDGE, index=0, pod=1, attrs=(("position", 3),))
+        assert node.attr("position") == 3
+        assert node.attr("missing") is None
+        assert node.attr("missing", default=7) == 7
+
+    def test_node_is_switch_and_server_flags(self):
+        switch = Node(name="s", tier=Tier.CORE, index=0)
+        server = Node(name="h", tier=Tier.SERVER, index=1)
+        assert switch.is_switch and not switch.is_server
+        assert server.is_server and not server.is_switch
+
+
+class TestLink:
+    def test_endpoints_are_sorted(self):
+        topology = small_topology()
+        link = topology.link_between("agg0", "core0")
+        assert link.a == "agg0" and link.b == "core0"
+        assert link.endpoints == ("agg0", "core0")
+
+    def test_other_endpoint(self):
+        topology = small_topology()
+        link = topology.link_between("core0", "agg0")
+        assert link.other("core0") == "agg0"
+        assert link.other("agg0") == "core0"
+
+    def test_other_rejects_non_endpoint(self):
+        topology = small_topology()
+        link = topology.link_between("core0", "agg0")
+        with pytest.raises(TopologyError):
+            link.other("edge0")
+
+    def test_touches(self):
+        topology = small_topology()
+        link = topology.link_between("edge0", "srv0")
+        assert link.touches("srv0") and link.touches("edge0")
+        assert not link.touches("core0")
+
+    def test_tier_pair_is_sorted(self):
+        topology = small_topology()
+        link = topology.link_between("core0", "agg0")
+        assert link.tier_pair == (Tier.AGGREGATION, Tier.CORE)
+
+
+class TestTopologyQueries:
+    def test_node_and_link_lookup(self):
+        topology = small_topology()
+        assert topology.node("core0").tier == Tier.CORE
+        assert topology.link(0).link_id == 0
+
+    def test_unknown_node_raises(self):
+        topology = small_topology()
+        with pytest.raises(TopologyError):
+            topology.node("nope")
+
+    def test_unknown_link_id_raises(self):
+        topology = small_topology()
+        with pytest.raises(TopologyError):
+            topology.link(99)
+
+    def test_link_between_missing_raises(self):
+        topology = small_topology()
+        with pytest.raises(TopologyError):
+            topology.link_between("core0", "srv0")
+
+    def test_has_link(self):
+        topology = small_topology()
+        assert topology.has_link("core0", "agg0")
+        assert topology.has_link("agg0", "core0")
+        assert not topology.has_link("core0", "edge0")
+
+    def test_neighbors_sorted(self):
+        topology = small_topology()
+        assert topology.neighbors("edge0") == ["agg0", "srv0", "srv1"]
+
+    def test_degree(self):
+        topology = small_topology()
+        assert topology.degree("edge0") == 3
+        assert topology.degree("srv0") == 1
+
+    def test_links_of(self):
+        topology = small_topology()
+        incident = topology.links_of("edge0")
+        assert len(incident) == 3
+        assert all(link.touches("edge0") for link in incident)
+
+    def test_switches_and_servers(self):
+        topology = small_topology()
+        assert {n.name for n in topology.switches} == {"core0", "agg0", "edge0"}
+        assert {n.name for n in topology.servers} == {"srv0", "srv1"}
+
+    def test_tor_switches(self):
+        topology = small_topology()
+        assert [n.name for n in topology.tor_switches] == ["edge0"]
+
+    def test_servers_under(self):
+        topology = small_topology()
+        assert [n.name for n in topology.servers_under("edge0")] == ["srv0", "srv1"]
+
+    def test_tor_of(self):
+        topology = small_topology()
+        assert topology.tor_of("srv0").name == "edge0"
+
+    def test_tor_of_rejects_switch(self):
+        topology = small_topology()
+        with pytest.raises(TopologyError):
+            topology.tor_of("edge0")
+
+    def test_switch_links_exclude_server_links(self):
+        topology = small_topology()
+        switch_links = topology.switch_links
+        assert {l.endpoints for l in switch_links} == {("agg0", "core0"), ("agg0", "edge0")}
+
+    def test_server_links(self):
+        topology = small_topology()
+        assert len(topology.server_links) == 2
+
+    def test_links_by_tier_pair(self):
+        topology = small_topology()
+        groups = topology.links_by_tier_pair()
+        assert len(groups[(Tier.EDGE, Tier.SERVER)]) == 2
+
+    def test_pods(self):
+        topology = small_topology()
+        assert topology.pods == [0]
+        assert {n.name for n in topology.nodes_in_pod(0)} == {"agg0", "edge0", "srv0", "srv1"}
+
+    def test_summary(self):
+        summary = small_topology().summary()
+        assert summary["nodes"] == 5
+        assert summary["links"] == 4
+        assert summary["switch_links"] == 2
+        assert summary["server_links"] == 2
+
+
+class TestTopologyMutation:
+    def test_without_links(self):
+        topology = small_topology()
+        removed = topology.link_between("core0", "agg0").link_id
+        smaller = topology.without_links([removed])
+        assert len(smaller.links) == len(topology.links) - 1
+        assert not smaller.has_link("core0", "agg0")
+        # Link ids are re-densified.
+        assert [l.link_id for l in smaller.links] == list(range(len(smaller.links)))
+
+    def test_without_node(self):
+        topology = small_topology()
+        smaller = topology.without_node("agg0")
+        assert "agg0" not in smaller.nodes
+        assert not smaller.has_link("agg0", "core0")
+        assert len(smaller.links) == 2  # only the two server links remain
+
+    def test_without_node_unknown_raises(self):
+        with pytest.raises(TopologyError):
+            small_topology().without_node("ghost")
+
+
+class TestTopologyNetworkx:
+    def test_full_export(self):
+        graph = small_topology().to_networkx()
+        assert graph.number_of_nodes() == 5
+        assert graph.number_of_edges() == 4
+
+    def test_switches_only_export(self):
+        graph = small_topology().to_networkx(switches_only=True)
+        assert set(graph.nodes) == {"core0", "agg0", "edge0"}
+        assert graph.number_of_edges() == 2
+
+
+class TestTopologyBuilderValidation:
+    def test_duplicate_node_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_node("a", Tier.CORE)
+        with pytest.raises(TopologyError):
+            builder.add_node("a", Tier.CORE)
+
+    def test_link_to_unknown_node_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_node("a", Tier.CORE)
+        with pytest.raises(TopologyError):
+            builder.add_link("a", "b")
+
+    def test_self_loop_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_node("a", Tier.CORE)
+        with pytest.raises(TopologyError):
+            builder.add_link("a", "a")
+
+    def test_duplicate_link_rejected(self):
+        builder = TopologyBuilder("t")
+        builder.add_node("a", Tier.CORE)
+        builder.add_node("b", Tier.CORE)
+        builder.add_link("a", "b")
+        with pytest.raises(TopologyError):
+            builder.add_link("b", "a")
+
+    def test_has_node(self):
+        builder = TopologyBuilder("t")
+        builder.add_node("a", Tier.CORE)
+        assert builder.has_node("a")
+        assert not builder.has_node("b")
+
+    def test_dense_ordered_link_ids_enforced(self):
+        nodes = [Node("a", Tier.CORE, 0), Node("b", Tier.CORE, 1)]
+        bad_link = Link(link_id=5, a="a", b="b", tier_pair=(Tier.CORE, Tier.CORE))
+        with pytest.raises(TopologyError):
+            Topology("bad", nodes, [bad_link])
+
+    def test_duplicate_node_names_in_topology_ctor(self):
+        nodes = [Node("a", Tier.CORE, 0), Node("a", Tier.CORE, 1)]
+        with pytest.raises(TopologyError):
+            Topology("bad", nodes, [])
