@@ -1,0 +1,79 @@
+"""PMC wall-clock smoke benchmark: writes ``BENCH_pmc.json``.
+
+Times probe-matrix construction (the Table 2 configuration: alpha=2, beta=1,
+decomposition + lazy updates) on a few Fattree sizes, once per incidence
+backend, and asserts that both backends select byte-identical path sets.
+Used by the CI benchmark-smoke job; run locally with::
+
+    PYTHONPATH=src python benchmarks/bench_pmc.py [--quick] [--out BENCH_pmc.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.core import PMCOptions, construct_probe_matrix
+from repro.core.incidence import Backend
+from repro.routing import RoutingMatrix, enumerate_candidate_paths
+from repro.topology import build_fattree
+
+
+def bench(radix: int) -> dict:
+    topology = build_fattree(radix)
+    paths = enumerate_candidate_paths(topology, ordered=False)
+    row = {"topology": f"fattree{radix}", "candidate_paths": len(paths)}
+    selections = {}
+    for backend in (Backend.NUMPY, Backend.PYTHON):
+        t0 = time.perf_counter()
+        routing = RoutingMatrix(topology, paths, backend=backend)
+        t1 = time.perf_counter()
+        result = construct_probe_matrix(routing, PMCOptions(alpha=2, beta=1))
+        t2 = time.perf_counter()
+        selections[backend] = result.selected_indices
+        row[f"{backend.value}_build_seconds"] = round(t1 - t0, 4)
+        row[f"{backend.value}_pmc_seconds"] = round(t2 - t1, 4)
+        row["selected_paths"] = result.num_paths
+    if selections[Backend.NUMPY] != selections[Backend.PYTHON]:
+        raise SystemExit(f"backend selections diverge on fattree{radix}")
+    row["backends_identical"] = True
+    row["speedup_python_over_numpy"] = round(
+        row["python_pmc_seconds"] / max(row["numpy_pmc_seconds"], 1e-9), 2
+    )
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small instances only")
+    parser.add_argument("--out", default="BENCH_pmc.json")
+    args = parser.parse_args()
+
+    # Warm up lazy imports so the first timed run is not charged for one-time
+    # module loading (csgraph only loads above the decomposition size gate).
+    import scipy.sparse.csgraph  # noqa: F401
+
+    bench(4)
+
+    radices = (4, 6) if args.quick else (4, 6, 8, 10)
+    report = {
+        "benchmark": "pmc_construction",
+        "config": {"alpha": 2, "beta": 1, "decomposition": True, "lazy_update": True},
+        "python_version": platform.python_version(),
+        "rows": [bench(radix) for radix in radices],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in report["rows"]:
+        print(
+            f"{row['topology']:>10}: numpy={row['numpy_pmc_seconds']:.3f}s "
+            f"python={row['python_pmc_seconds']:.3f}s "
+            f"(x{row['speedup_python_over_numpy']}) sel={row['selected_paths']}"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

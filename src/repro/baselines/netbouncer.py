@@ -12,8 +12,9 @@ explained by the fewest links possible.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..core.incidence import IncidenceIndex
 from ..routing import Path
 from ..simulation import ProbeConfig, ProbeSimulator
 
@@ -60,7 +61,6 @@ class Netbouncer:
         probes_sent = 0
         probed_paths = 0
         lossy_paths: List[Path] = []
-        loss_count: Dict[int, int] = {}
         healthy_links: Set[int] = set()
         config = ProbeConfig(probes_per_path=self._probes_per_path)
 
@@ -77,30 +77,46 @@ class Netbouncer:
                 probes_sent += self._probes_per_path
                 if lost:
                     lossy_paths.append(path)
-                    loss_count[id(path)] = lost
                 else:
                     healthy_links.update(path.link_ids)
 
-        # Greedy explanation of the lossy paths, ignoring links that carried a
-        # completely clean pinned path (full-loss reasoning, as Netbouncer's
-        # link-health solving would conclude for them).
-        suspected: List[int] = []
-        unexplained = list(lossy_paths)
-        while unexplained:
-            coverage: Dict[int, int] = {}
-            for path in unexplained:
-                for link in path.link_ids:
-                    if link in healthy_links:
-                        continue
-                    coverage[link] = coverage.get(link, 0) + 1
-            if not coverage:
-                break
-            best_link = max(sorted(coverage), key=lambda l: coverage[l])
-            suspected.append(best_link)
-            unexplained = [p for p in unexplained if best_link not in p.link_ids]
-
         return NetbouncerResult(
-            suspected_links=suspected,
+            suspected_links=self._explain(lossy_paths, healthy_links),
             probes_sent=probes_sent,
             probed_paths=probed_paths,
         )
+
+    @staticmethod
+    def _explain(lossy_paths: Sequence[Path], healthy_links: Set[int]) -> List[int]:
+        """Greedy explanation of the lossy paths over a CSR incidence index.
+
+        Links that carried a completely clean pinned path are excluded from
+        the universe (full-loss reasoning, as Netbouncer's link-health solving
+        would conclude for them); the remaining lossy-path x link incidence is
+        the same set-cover structure PMC and PLL run on, so the per-link
+        coverage counters come from the shared vectorized kernel.
+        """
+        if not lossy_paths:
+            return []
+        universe = sorted(
+            {link for path in lossy_paths for link in path.link_ids} - healthy_links
+        )
+        index = IncidenceIndex([path.link_ids for path in lossy_paths], universe)
+        kernels = index.kernels
+        unexplained = kernels.bool_zeros(index.num_paths)
+        kernels.set_true(unexplained, kernels.int_array(range(index.num_paths)))
+        remaining = index.num_paths
+
+        suspected: List[int] = []
+        while remaining:
+            counts = index.masked_col_counts(unexplained)
+            # First-maximum over the ascending universe keeps the seed
+            # tie-break: the smallest link id among maximal coverers wins.
+            best_col, best_count = kernels.first_max(counts)
+            if best_count <= 0:
+                break
+            suspected.append(index.link_ids[best_col])
+            covered = kernels.take_true(index.col_rows(best_col), unexplained)
+            kernels.set_false(unexplained, covered)
+            remaining -= len(covered)
+        return suspected

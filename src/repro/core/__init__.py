@@ -1,7 +1,8 @@
 """deTector's primary contribution: probe-matrix construction and its building blocks."""
 
 from .decomposition import Subproblem, decompose_by_link_sets, decompose_routing_matrix
-from .lazy_greedy import LazyMinHeap
+from .incidence import Backend, IncidenceIndex, RefinablePartition, RowProjection, resolve_backend
+from .lazy_greedy import BatchCELFHeap, LazyMinHeap
 from .link_partition import LinkSetPartition
 from .pmc import PMCOptions, PMCResult, PMCStats, construct_probe_matrix, pmc_for_topology
 from .probe_matrix import ProbeMatrix
@@ -21,6 +22,12 @@ __all__ = [
     "PMCStats",
     "construct_probe_matrix",
     "pmc_for_topology",
+    "Backend",
+    "IncidenceIndex",
+    "RefinablePartition",
+    "RowProjection",
+    "resolve_backend",
+    "BatchCELFHeap",
     "LazyMinHeap",
     "LinkSetPartition",
     "ExtendedLinkSpace",

@@ -6,49 +6,27 @@ of this graph are independent probe-matrix / localization subproblems: no path
 of one component crosses a link of another, so the greedy (or PLL) can run on
 each component separately -- and in the paper's case, in parallel.
 
-The component computation is a single union-find pass over the links of each
-path, i.e. linear in the size of the routing matrix, matching the "linear
-time by traversing the bipartite graph once" remark.
+The component computation is a single union-find pass over the CSR rows of
+the shared :class:`~repro.core.incidence.IncidenceIndex`, i.e. linear in the
+size of the routing matrix, matching the "linear time by traversing the
+bipartite graph once" remark.  The set-based entry point
+:func:`decompose_by_link_sets` survives for external callers that hold raw
+link sets rather than an index (PLL now decomposes through
+``incidence.components(rows=...)`` directly); it simply builds a transient
+index.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Sequence, Tuple
 
-from ..routing import RoutingMatrix
+from .incidence import IncidenceIndex
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a routing<->core cycle
+    from ..routing import RoutingMatrix
 
 __all__ = ["Subproblem", "decompose_routing_matrix", "decompose_by_link_sets"]
-
-
-class _UnionFind:
-    """Minimal union-find with path compression and union by size."""
-
-    def __init__(self):
-        self._parent: Dict[int, int] = {}
-        self._size: Dict[int, int] = {}
-
-    def add(self, item: int) -> None:
-        if item not in self._parent:
-            self._parent[item] = item
-            self._size[item] = 1
-
-    def find(self, item: int) -> int:
-        root = item
-        while self._parent[root] != root:
-            root = self._parent[root]
-        while self._parent[item] != root:
-            self._parent[item], item = root, self._parent[item]
-        return root
-
-    def union(self, a: int, b: int) -> None:
-        root_a, root_b = self.find(a), self.find(b)
-        if root_a == root_b:
-            return
-        if self._size[root_a] < self._size[root_b]:
-            root_a, root_b = root_b, root_a
-        self._parent[root_b] = root_a
-        self._size[root_a] += self._size[root_b]
 
 
 @dataclass
@@ -76,44 +54,22 @@ class Subproblem:
         return len(self.path_indices)
 
 
+def _subproblems_from_components(
+    components: List[Tuple[Tuple[int, ...], Tuple[int, ...]]]
+) -> List[Subproblem]:
+    return [
+        Subproblem(link_ids=links, path_indices=rows) for links, rows in components
+    ]
+
+
 def decompose_by_link_sets(
     path_link_sets: Sequence[frozenset], link_universe: Sequence[int]
 ) -> List[Subproblem]:
     """Decompose from raw path->link-set data (no RoutingMatrix required)."""
-    uf = _UnionFind()
-    for link in link_universe:
-        uf.add(link)
-    for links in path_link_sets:
-        links = [l for l in links if l in uf._parent]
-        if not links:
-            continue
-        first = links[0]
-        for other in links[1:]:
-            uf.union(first, other)
-
-    groups: Dict[int, List[int]] = {}
-    for link in link_universe:
-        groups.setdefault(uf.find(link), []).append(link)
-
-    # Assign each path to the component of its first link.  Paths with no
-    # links inside the universe are dropped (they cannot help any component).
-    path_groups: Dict[int, List[int]] = {root: [] for root in groups}
-    for index, links in enumerate(path_link_sets):
-        anchor = next((l for l in links if l in uf._parent), None)
-        if anchor is None:
-            continue
-        path_groups[uf.find(anchor)].append(index)
-
-    subproblems = [
-        Subproblem(link_ids=tuple(sorted(links)), path_indices=tuple(path_groups[root]))
-        for root, links in groups.items()
-    ]
-    # Deterministic ordering: by smallest link id.
-    subproblems.sort(key=lambda sp: sp.link_ids[0] if sp.link_ids else -1)
-    return subproblems
+    index = IncidenceIndex(path_link_sets, tuple(link_universe))
+    return _subproblems_from_components(index.components())
 
 
-def decompose_routing_matrix(routing_matrix: RoutingMatrix) -> List[Subproblem]:
+def decompose_routing_matrix(routing_matrix: "RoutingMatrix") -> List[Subproblem]:
     """Connected components of the path/link bipartite graph of a routing matrix."""
-    link_sets = [routing_matrix.links_on(i) for i in range(routing_matrix.num_paths)]
-    return decompose_by_link_sets(link_sets, routing_matrix.link_ids)
+    return _subproblems_from_components(routing_matrix.incidence.components())

@@ -1,0 +1,803 @@
+"""Array-backed path x link incidence: the shared backend of routing, PMC and PLL.
+
+§4.1 of the paper treats the routing matrix ``R`` as an ``m x n`` 0/1 matrix
+(paths x links) and every algorithm layered on top of it -- PMC's greedy
+(Alg. 1), the decomposition of §4.3 and PLL's hit-ratio scans (§5.3) -- only
+ever asks incidence questions of it: *which links lie on this path*, *which
+paths cross this link*, *how many of a link's paths are lossy*.  The seed
+implementation answered those questions with per-path ``frozenset``s and
+dicts of tuples, which caps scalability far below the fabrics of Tables 2
+and 5.
+
+:class:`IncidenceIndex` stores the incidence once, in CSR/CSC form:
+
+* ``row_indptr`` / ``row_cols``  -- path -> sorted column positions (CSR), and
+* ``col_indptr`` / ``col_rows``  -- column -> sorted path rows (CSC),
+
+as flat integer arrays, plus the vectorized kernels the hot loops need
+(per-link coverage counters, Eq. 1 weight accumulation, hit-ratio counts,
+syndromes and connected-component decomposition).  Two interchangeable
+backends produce *identical* results:
+
+* :attr:`Backend.NUMPY`  -- flat ``numpy`` arrays and vectorized kernels
+  (the default whenever numpy is importable), and
+* :attr:`Backend.PYTHON` -- plain lists and comprehension loops, used as a
+  dependency-free fallback and as a differential-testing oracle.
+
+The backend is chosen per index (``backend=`` argument) or globally through
+the ``REPRO_BACKEND`` environment variable (``"numpy"`` or ``"python"``).
+Every kernel works on exact integers, so selections and suspect sets computed
+on either backend are byte-identical -- tested in
+``tests/test_incidence_backends.py``.
+"""
+
+from __future__ import annotations
+
+import os
+from enum import Enum
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+try:  # numpy is the default backend but never a hard requirement
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image always has numpy
+    _np = None
+
+__all__ = [
+    "Backend",
+    "resolve_backend",
+    "IncidenceIndex",
+    "RowProjection",
+    "RefinablePartition",
+]
+
+_ENV_VAR = "REPRO_BACKEND"
+
+
+class Backend(Enum):
+    """Storage/kernel flavour of an :class:`IncidenceIndex`."""
+
+    PYTHON = "python"
+    NUMPY = "numpy"
+
+
+def _parse_backend(value: Union[str, Backend]) -> Backend:
+    if isinstance(value, Backend):
+        return value
+    try:
+        return Backend(str(value).strip().lower())
+    except ValueError:
+        choices = ", ".join(repr(b.value) for b in Backend)
+        raise ValueError(f"unknown incidence backend {value!r}; choose from {choices}") from None
+
+
+def resolve_backend(backend: Optional[Union[str, Backend]] = None) -> Backend:
+    """Resolve the backend to use: explicit argument > ``REPRO_BACKEND`` > auto.
+
+    Auto-detection prefers numpy and falls back to pure Python when numpy is
+    missing.  Requesting :attr:`Backend.NUMPY` without numpy installed raises.
+    """
+    if backend is not None:
+        resolved = _parse_backend(backend)
+    else:
+        env = os.environ.get(_ENV_VAR, "").strip()
+        if env:
+            resolved = _parse_backend(env)
+        else:
+            resolved = Backend.NUMPY if _np is not None else Backend.PYTHON
+    if resolved is Backend.NUMPY and _np is None:
+        raise RuntimeError(
+            "the numpy incidence backend was requested but numpy is not installed; "
+            f"set {_ENV_VAR}=python or install numpy"
+        )
+    return resolved
+
+
+# ---------------------------------------------------------------------------
+# per-backend kernel namespaces
+# ---------------------------------------------------------------------------
+
+class _PythonKernels:
+    """List-based kernels: the dependency-free oracle implementation."""
+
+    backend = Backend.PYTHON
+
+    @staticmethod
+    def int_array(values: Iterable[int]) -> List[int]:
+        return list(values)
+
+    @staticmethod
+    def int_zeros(size: int) -> List[int]:
+        return [0] * size
+
+    @staticmethod
+    def bool_zeros(size: int) -> List[bool]:
+        return [False] * size
+
+    @staticmethod
+    def sum_at(vector: Sequence[int], idx: Sequence[int]) -> int:
+        return sum(vector[i] for i in idx)
+
+    @staticmethod
+    def count_true_at(mask: Sequence[bool], idx: Sequence[int]) -> int:
+        return sum(1 for i in idx if mask[i])
+
+    @staticmethod
+    def add_at(vector: List[int], idx: Sequence[int], amount: int = 1) -> None:
+        for i in idx:
+            vector[i] += amount
+
+    @staticmethod
+    def take_true(idx: Sequence[int], mask: Sequence[bool]) -> List[int]:
+        return [i for i in idx if mask[i]]
+
+    @staticmethod
+    def set_true(mask: List[bool], idx: Sequence[int]) -> None:
+        for i in idx:
+            mask[i] = True
+
+    @staticmethod
+    def set_false(mask: List[bool], idx: Sequence[int]) -> None:
+        for i in idx:
+            mask[i] = False
+
+    @staticmethod
+    def clear_if_reached(
+        mask: List[bool], counts: Sequence[int], idx: Sequence[int], threshold: int
+    ) -> int:
+        """Clear ``mask[i]`` where ``counts[i] >= threshold``; return #cleared."""
+        cleared = 0
+        for i in idx:
+            if mask[i] and counts[i] >= threshold:
+                mask[i] = False
+                cleared += 1
+        return cleared
+
+    @staticmethod
+    def unique_count_at(labels: Sequence[int], idx: Sequence[int]) -> int:
+        return len({labels[i] for i in idx})
+
+    @staticmethod
+    def first_max(vector: Sequence[int]) -> Tuple[int, int]:
+        """(index, value) of the first maximum; (-1, 0) for an empty vector."""
+        best_idx, best = -1, 0
+        for i, value in enumerate(vector):
+            if best_idx < 0 or value > best:
+                best_idx, best = i, value
+        return best_idx, best
+
+
+class _NumpyKernels:
+    """Flat numpy-array kernels; all results are exact integers."""
+
+    backend = Backend.NUMPY
+
+    @staticmethod
+    def int_array(values: Iterable[int]):
+        if isinstance(values, _np.ndarray):
+            return values.astype(_np.int64, copy=False)
+        return _np.fromiter(values, dtype=_np.int64)
+
+    @staticmethod
+    def int_zeros(size: int):
+        return _np.zeros(size, dtype=_np.int64)
+
+    @staticmethod
+    def bool_zeros(size: int):
+        return _np.zeros(size, dtype=bool)
+
+    @staticmethod
+    def sum_at(vector, idx) -> int:
+        return int(vector[idx].sum())
+
+    @staticmethod
+    def count_true_at(mask, idx) -> int:
+        return int(_np.count_nonzero(mask[idx]))
+
+    @staticmethod
+    def add_at(vector, idx, amount: int = 1) -> None:
+        # Column indices within a row are unique, so fancy-index add is safe.
+        vector[idx] += amount
+
+    @staticmethod
+    def take_true(idx, mask):
+        return idx[mask[idx]]
+
+    @staticmethod
+    def set_true(mask, idx) -> None:
+        mask[idx] = True
+
+    @staticmethod
+    def set_false(mask, idx) -> None:
+        mask[idx] = False
+
+    @staticmethod
+    def clear_if_reached(mask, counts, idx, threshold: int) -> int:
+        sel = idx[mask[idx] & (counts[idx] >= threshold)]
+        mask[sel] = False
+        return int(sel.size)
+
+    @staticmethod
+    def unique_count_at(labels, idx) -> int:
+        return int(_np.unique(labels[idx]).size)
+
+    @staticmethod
+    def first_max(vector) -> Tuple[int, int]:
+        if len(vector) == 0:
+            return -1, 0
+        best_idx = int(_np.argmax(vector))  # argmax returns the first maximum
+        return best_idx, int(vector[best_idx])
+
+
+def _kernels_for(backend: Backend):
+    return _NumpyKernels if backend is Backend.NUMPY else _PythonKernels
+
+
+# ---------------------------------------------------------------------------
+# the incidence index
+# ---------------------------------------------------------------------------
+
+class IncidenceIndex:
+    """CSR/CSC view of the path x link 0/1 incidence structure.
+
+    Rows are path positions ``0..m-1`` (the canonical path indices of the
+    owning routing/probe matrix); columns are positions ``0..n-1`` into
+    ``link_ids`` (the link universe, in the order the caller supplied it).
+    Links of a path that fall outside the universe are dropped, exactly like
+    the seed ``RoutingMatrix`` did.
+    """
+
+    def __init__(
+        self,
+        path_link_sets: Sequence[Iterable[int]],
+        link_universe: Sequence[int],
+        backend: Optional[Union[str, Backend]] = None,
+    ):
+        self._backend = resolve_backend(backend)
+        self.kernels = _kernels_for(self._backend)
+        self._link_ids: Tuple[int, ...] = tuple(link_universe)
+        self._pos: Dict[int, int] = {link: col for col, link in enumerate(self._link_ids)}
+
+        # CSR build: one pass over the paths, columns sorted within each row
+        # so that both backends traverse entries in the same order.
+        pos = self._pos
+        row_indptr: List[int] = [0]
+        row_cols: List[int] = []
+        for links in path_link_sets:
+            cols = sorted(pos[l] for l in links if l in pos)
+            row_cols.extend(cols)
+            row_indptr.append(len(row_cols))
+        self._num_paths = len(row_indptr) - 1
+        n = len(self._link_ids)
+
+        # CSC build by counting sort: rows within each column come out sorted
+        # because rows are visited in ascending order.
+        counts = [0] * n
+        for col in row_cols:
+            counts[col] += 1
+        col_indptr: List[int] = [0] * (n + 1)
+        for col in range(n):
+            col_indptr[col + 1] = col_indptr[col] + counts[col]
+        fill = list(col_indptr[:n])
+        col_rows: List[int] = [0] * len(row_cols)
+        for row in range(self._num_paths):
+            for e in range(row_indptr[row], row_indptr[row + 1]):
+                col = row_cols[e]
+                col_rows[fill[col]] = row
+                fill[col] += 1
+
+        k = self.kernels
+        self._row_indptr = k.int_array(row_indptr)
+        self._row_cols = k.int_array(row_cols)
+        self._col_indptr = k.int_array(col_indptr)
+        self._col_rows = k.int_array(col_rows)
+        # Lazily filled caches for the set/tuple views the legacy API exposes.
+        self._row_set_cache: Dict[int, FrozenSet[int]] = {}
+        self._col_tuple_cache: Dict[int, Tuple[int, ...]] = {}
+        self._entry_rows = None  # numpy only: row id of every CSR entry
+
+    # ------------------------------------------------------------------ sizes
+    @property
+    def backend(self) -> Backend:
+        return self._backend
+
+    @property
+    def num_paths(self) -> int:
+        return self._num_paths
+
+    @property
+    def num_links(self) -> int:
+        return len(self._link_ids)
+
+    @property
+    def nnz(self) -> int:
+        return int(self._row_indptr[self._num_paths])
+
+    @property
+    def link_ids(self) -> Tuple[int, ...]:
+        return self._link_ids
+
+    # --------------------------------------------------------------- lookups
+    def position(self, link_id: int) -> int:
+        """Column position of a link id (KeyError outside the universe)."""
+        return self._pos[link_id]
+
+    def contains_link(self, link_id: int) -> bool:
+        return link_id in self._pos
+
+    def row_length(self, row: int) -> int:
+        return int(self._row_indptr[row + 1] - self._row_indptr[row])
+
+    def row_lengths(self):
+        """Per-row link counts (vector; one call instead of m scalar reads)."""
+        if self._backend is Backend.NUMPY:
+            return _np.diff(self._row_indptr)
+        return [
+            self._row_indptr[r + 1] - self._row_indptr[r] for r in range(self._num_paths)
+        ]
+
+    def row_cols(self, row: int):
+        """Column positions on a path (sorted; zero-copy slice/view)."""
+        return self._row_cols[int(self._row_indptr[row]) : int(self._row_indptr[row + 1])]
+
+    def col_rows(self, col: int):
+        """Path rows crossing a column (sorted; zero-copy slice/view)."""
+        return self._col_rows[int(self._col_indptr[col]) : int(self._col_indptr[col + 1])]
+
+    def row_link_set(self, row: int) -> FrozenSet[int]:
+        """Link ids of a path as a frozenset (cached; legacy ``links_on`` view)."""
+        cached = self._row_set_cache.get(row)
+        if cached is None:
+            ids = self._link_ids
+            cached = frozenset(ids[int(c)] for c in self.row_cols(row))
+            self._row_set_cache[row] = cached
+        return cached
+
+    def paths_through(self, link_id: int) -> Tuple[int, ...]:
+        """Row indices of the paths crossing a link (cached tuple view)."""
+        col = self._pos[link_id]  # KeyError propagates for foreign links
+        cached = self._col_tuple_cache.get(col)
+        if cached is None:
+            cached = tuple(int(r) for r in self.col_rows(col))
+            self._col_tuple_cache[col] = cached
+        return cached
+
+    # --------------------------------------------------------------- kernels
+    def coverage_counts(self):
+        """Per-column path counts (the coverage histogram, as a vector)."""
+        if self._backend is Backend.NUMPY:
+            return _np.diff(self._col_indptr)
+        return [
+            self._col_indptr[c + 1] - self._col_indptr[c] for c in range(self.num_links)
+        ]
+
+    def coverage_histogram(self) -> Dict[int, int]:
+        """Map ``link_id -> number of paths`` through it (legacy dict view)."""
+        counts = self.coverage_counts()
+        return {link: int(counts[col]) for col, link in enumerate(self._link_ids)}
+
+    def sum_over_row(self, vector, row: int) -> int:
+        """``sum(vector[col] for col on path)`` -- the Eq. 1 weight term."""
+        return self.kernels.sum_at(vector, self.row_cols(row))
+
+    def rows_touching_links(self, link_ids: Iterable[int]) -> List[int]:
+        """Sorted rows crossing at least one of the links (a loss syndrome)."""
+        cols = [self._pos[l] for l in link_ids if l in self._pos]
+        if not cols:
+            return []
+        if self._backend is Backend.NUMPY:
+            chunks = [self.col_rows(c) for c in cols]
+            return [int(r) for r in _np.unique(_np.concatenate(chunks))]
+        rows: set = set()
+        for c in cols:
+            rows.update(self.col_rows(c))
+        return sorted(rows)
+
+    def masked_col_counts(self, row_mask):
+        """Per-column count of incident rows with ``row_mask[row]`` True.
+
+        This is the one-shot kernel behind hit ratios (PLL step 2) and
+        coverage-over-a-path-subset queries: calling it with the lossy-path
+        mask yields every link's lossy count, with the observed-path mask its
+        total count.
+        """
+        if self._backend is Backend.NUMPY:
+            if self._entry_rows is None:
+                self._entry_rows = _np.repeat(
+                    _np.arange(self._num_paths, dtype=_np.int64),
+                    _np.diff(self._row_indptr),
+                )
+            keep = row_mask[self._entry_rows]
+            return _np.bincount(self._row_cols[keep], minlength=self.num_links)
+        counts = [0] * self.num_links
+        for col in range(self.num_links):
+            counts[col] = sum(1 for r in self.col_rows(col) if row_mask[r])
+        return counts
+
+    # ----------------------------------------------------------- components
+    def components(
+        self, rows: Optional[Sequence[int]] = None
+    ) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Connected components of the path/link bipartite graph.
+
+        Returns ``(link_ids, rows)`` pairs: the component's links sorted by
+        id and the member paths in row order.  Columns crossed by none of the
+        considered rows form singleton components with no paths (that is how
+        uncoverable links surface in PMC), and rows with no in-universe links
+        are dropped -- both exactly as the seed set-based decomposition did.
+        When ``rows`` is given, only those paths are considered (PLL
+        decomposes over the observed rows only).
+        """
+        # The scipy.csgraph path wins once the bipartite graph is large, but
+        # its fixed per-call overhead (~coo/csgraph setup) loses on the tiny
+        # per-window decompositions PLL runs; size-gate it.  Both paths return
+        # identical output, so the gate never changes results.
+        if self._backend is Backend.NUMPY:
+            if rows is None:
+                entries = self.nnz
+            else:
+                rows_arr = _np.asarray(rows, dtype=_np.int64)
+                entries = int(
+                    (self._row_indptr[rows_arr + 1] - self._row_indptr[rows_arr]).sum()
+                )
+            if entries >= 4096:
+                try:
+                    return self._components_vectorized(rows)
+                except ImportError:  # pragma: no cover - scipy missing
+                    pass
+        n = self.num_links
+        parent = list(range(n))
+        size = [1] * n
+
+        def find(col: int) -> int:
+            root = col
+            while parent[root] != root:
+                root = parent[root]
+            while parent[col] != root:
+                parent[col], col = root, parent[col]
+            return root
+
+        def union(a: int, b: int) -> None:
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return
+            if size[ra] < size[rb]:
+                ra, rb = rb, ra
+            parent[rb] = ra
+            size[ra] += size[rb]
+
+        considered = range(self._num_paths) if rows is None else rows
+        row_anchor: List[Tuple[int, int]] = []  # (row, first col) for assignment
+        for row in considered:
+            cols = self.row_cols(row)
+            if len(cols) == 0:
+                continue
+            first = int(cols[0])
+            for c in cols[1:]:
+                union(first, int(c))
+            row_anchor.append((int(row), first))
+
+        groups: Dict[int, List[int]] = {}
+        for col in range(n):
+            groups.setdefault(find(col), []).append(col)
+        member_rows: Dict[int, List[int]] = {root: [] for root in groups}
+        for row, anchor in row_anchor:
+            member_rows[find(anchor)].append(row)
+
+        ids = self._link_ids
+        components = [
+            (
+                tuple(sorted(ids[c] for c in cols)),
+                tuple(member_rows[root]),
+            )
+            for root, cols in groups.items()
+        ]
+        components.sort(key=lambda item: item[0][0] if item[0] else -1)
+        return components
+
+    def _components_vectorized(
+        self, rows: Optional[Sequence[int]] = None
+    ) -> List[Tuple[Tuple[int, ...], Tuple[int, ...]]]:
+        """Numpy path of :meth:`components`: star edges + ``scipy.csgraph``.
+
+        Every path contributes a star of edges from its first link to the
+        rest; connected components of that link graph equal the bipartite
+        components.  Output is identical to the union-find path.
+        """
+        from scipy.sparse import coo_matrix
+        from scipy.sparse.csgraph import connected_components
+
+        n = self.num_links
+        if rows is None:
+            considered = _np.arange(self._num_paths, dtype=_np.int64)
+            starts = self._row_indptr[:-1]
+            lengths = _np.diff(self._row_indptr)
+            flat_cols = self._row_cols
+        else:
+            considered = _np.asarray(rows, dtype=_np.int64)
+            starts = self._row_indptr[considered]
+            lengths = self._row_indptr[considered + 1] - starts
+            total = int(lengths.sum())
+            cum = _np.cumsum(lengths)
+            flat_pos = _np.repeat(starts - (cum - lengths), lengths) + _np.arange(total)
+            flat_cols = self._row_cols[flat_pos]
+
+        # Anchor col of every non-empty row = its first entry; empty rows have
+        # no entries, so the per-entry arrays below stay aligned without any
+        # filtering.
+        nonempty = lengths > 0
+        if rows is None:
+            anchors = self._row_cols[starts[nonempty]]
+        else:
+            seg_starts = _np.concatenate(([0], _np.cumsum(lengths)[:-1]))
+            anchors = flat_cols[seg_starts[nonempty]]
+        entry_cols = flat_cols
+        entry_anchors = _np.repeat(anchors, lengths[nonempty])
+
+        graph = coo_matrix(
+            (_np.ones(len(entry_cols), dtype=_np.int8), (entry_anchors, entry_cols)),
+            shape=(n, n),
+        )
+        _, labels = connected_components(graph, directed=False)
+
+        ids = _np.fromiter(self._link_ids, dtype=_np.int64, count=n)
+        num_labels = int(labels.max()) + 1 if n else 0
+        min_id = _np.full(num_labels, _np.iinfo(_np.int64).max, dtype=_np.int64)
+        _np.minimum.at(min_id, labels, ids)
+        order = _np.argsort(min_id, kind="stable")
+        rank = _np.empty(num_labels, dtype=_np.int64)
+        rank[order] = _np.arange(num_labels)
+
+        col_rank = rank[labels]
+        col_order = _np.lexsort((ids, col_rank))
+        sorted_ids = ids[col_order]
+        sorted_rank = col_rank[col_order]
+        link_bounds = _np.flatnonzero(
+            _np.concatenate(([True], sorted_rank[1:] != sorted_rank[:-1], [True]))
+        )
+
+        comp_links: List[Tuple[int, ...]] = [
+            tuple(sorted_ids[link_bounds[i] : link_bounds[i + 1]].tolist())
+            for i in range(num_labels)
+        ]
+        comp_rows: List[Tuple[int, ...]] = [() for _ in range(num_labels)]
+        if int(nonempty.sum()):
+            row_ids = considered[nonempty]
+            row_rank = rank[labels[anchors]]
+            row_order = _np.argsort(row_rank, kind="stable")
+            sorted_rows = row_ids[row_order]
+            sorted_row_rank = row_rank[row_order]
+            row_bounds = _np.flatnonzero(
+                _np.concatenate(
+                    ([True], sorted_row_rank[1:] != sorted_row_rank[:-1], [True])
+                )
+            )
+            for i in range(len(row_bounds) - 1):
+                comp_rows[int(sorted_row_rank[row_bounds[i]])] = tuple(
+                    sorted_rows[row_bounds[i] : row_bounds[i + 1]].tolist()
+                )
+        return list(zip(comp_links, comp_rows))
+
+    def projection(self, link_ids: Sequence[int]) -> "RowProjection":
+        """A row projector onto the dense local id space of a link subset.
+
+        ``link_ids`` must be sorted; local id ``i`` stands for the ``i``-th
+        smallest link, matching the physical-id numbering of
+        :class:`~repro.core.virtual_links.ExtendedLinkSpace`.
+        """
+        return RowProjection(self, link_ids)
+
+    # -------------------------------------------------------------- exports
+    def to_scipy_csr(self):
+        """Export as ``scipy.sparse.csr_matrix`` (float, shape paths x links)."""
+        from scipy import sparse
+
+        if _np is None:  # pragma: no cover - scipy implies numpy
+            raise RuntimeError("scipy/numpy are required for the sparse export")
+        indptr = _np.asarray(self._row_indptr, dtype=_np.int64)
+        indices = _np.asarray(self._row_cols, dtype=_np.int64)
+        data = _np.ones(len(indices), dtype=float)
+        return sparse.csr_matrix(
+            (data, indices, indptr), shape=(self.num_paths, self.num_links), dtype=float
+        )
+
+
+class RowProjection:
+    """Maps CSR rows of an index onto the local id space of a link subset.
+
+    PMC solves each decomposition subproblem over a dense local universe
+    ``0..n-1`` (the subproblem's links in sorted-id order); this helper turns
+    a path row into the array of local positions of its links, dropping links
+    outside the subset.  Projected rows are cached: the lazy greedy revisits
+    the same candidates many times.
+    """
+
+    def __init__(self, index: IncidenceIndex, link_ids: Sequence[int]):
+        self._index = index
+        self.kernels = index.kernels
+        self.num_locals = len(link_ids)
+        self._cache: Dict[int, object] = {}
+        if index.backend is Backend.NUMPY:
+            gmap = _np.full(index.num_links, -1, dtype=_np.int64)
+            cols = _np.fromiter(
+                (index.position(l) for l in link_ids), dtype=_np.int64, count=len(link_ids)
+            )
+            gmap[cols] = _np.arange(len(link_ids), dtype=_np.int64)
+            self._gmap = gmap
+        else:
+            self._gmap = {index.position(l): i for i, l in enumerate(link_ids)}
+
+    def row(self, row: int):
+        """Local positions of the links on a path (subset-restricted)."""
+        cached = self._cache.get(row)
+        if cached is None:
+            cols = self._index.row_cols(row)
+            if self._index.backend is Backend.NUMPY:
+                mapped = self._gmap[cols]
+                cached = mapped[mapped >= 0]
+            else:
+                gmap = self._gmap
+                cached = [gmap[c] for c in cols if c in gmap]
+            self._cache[row] = cached
+        return cached
+
+    def row_length(self, row: int) -> int:
+        return len(self.row(row))
+
+    def batch(self, rows: Sequence[int]):
+        """Concatenated projection of many rows: ``(segment_ids, flat_locals)``.
+
+        Numpy backend only -- the one-kernel gather behind batched greedy
+        rescoring.  ``segment_ids[k]`` tells which of the input rows entry
+        ``k`` belongs to; links outside the subset are dropped.
+        """
+        if self._index.backend is not Backend.NUMPY:
+            raise RuntimeError("batch projection requires the numpy backend")
+        rows = _np.asarray(rows, dtype=_np.int64)
+        indptr = self._index._row_indptr
+        starts = indptr[rows]
+        lengths = indptr[rows + 1] - starts
+        total = int(lengths.sum())
+        if total == 0:
+            empty = _np.zeros(0, dtype=_np.int64)
+            return empty, empty
+        # Gather the CSR slices of all rows in one shot: entry k of segment s
+        # sits at starts[s] + (k - segment_start[s]).
+        cum = _np.cumsum(lengths)
+        flat_pos = _np.repeat(starts - (cum - lengths), lengths) + _np.arange(total)
+        locals_ = self._gmap[self._index._row_cols[flat_pos]]
+        segments = _np.repeat(_np.arange(rows.size, dtype=_np.int64), lengths)
+        keep = locals_ >= 0
+        if not keep.all():
+            locals_, segments = locals_[keep], segments[keep]
+        return segments, locals_
+
+
+# ---------------------------------------------------------------------------
+# refinable partition over a dense id space
+# ---------------------------------------------------------------------------
+
+class RefinablePartition:
+    """Array-backed refinement partition over dense ids ``0..n-1`` (§4.2).
+
+    The vectorized sibling of
+    :class:`~repro.core.link_partition.LinkSetPartition`: the greedy's three
+    partition queries (``cells_touched``, ``splits_gained``, ``split``) on
+    flat label arrays instead of dict-of-set cells.  Which side of a split
+    keeps the old cell id differs from the seed class, but the *partition*
+    (which ids share a cell) evolves identically, and all three queries only
+    depend on the partition -- so scores and stop conditions are unchanged.
+    """
+
+    def __init__(self, num_ids: int, backend: Optional[Union[str, Backend]] = None):
+        self._backend = resolve_backend(backend)
+        self.kernels = _kernels_for(self._backend)
+        self._num_ids = num_ids
+        self._cell_of = self.kernels.int_zeros(num_ids)
+        # Cell sizes, indexed by cell id; ids are allocated monotonically and
+        # at most ``num_ids`` cells ever exist, so the capacity is bounded.
+        self._cell_size = self.kernels.int_zeros(2 * num_ids + 1)
+        if num_ids:
+            self._cell_size[0] = num_ids
+        self._num_cells = 1 if num_ids else 0
+        self._next_cell_id = 1
+
+    @property
+    def num_ids(self) -> int:
+        return self._num_ids
+
+    @property
+    def num_cells(self) -> int:
+        return self._num_cells
+
+    @property
+    def fully_refined(self) -> bool:
+        return self._num_cells == self._num_ids
+
+    def cell_of(self, member: int) -> int:
+        return int(self._cell_of[member])
+
+    def cells_touched(self, members) -> int:
+        """Distinct cells containing at least one member ("link sets on path")."""
+        return self.kernels.unique_count_at(self._cell_of, members)
+
+    def cells_touched_segmented(self, segments, members, num_segments: int):
+        """Vectorized :meth:`cells_touched` for many member sets at once.
+
+        ``segments``/``members`` are parallel flat arrays (the output of
+        :meth:`RowProjection.batch`); returns the per-segment distinct-cell
+        count.  Numpy backend only.
+        """
+        if self._backend is not Backend.NUMPY:
+            raise RuntimeError("segmented cell counting requires the numpy backend")
+        if len(members) == 0:
+            return _np.zeros(num_segments, dtype=_np.int64)
+        # Cell ids stay below num_ids + 1, so (segment, cell) pairs pack into
+        # one sortable integer key; distinct keys per segment = cells touched.
+        stride = self._num_ids + 1
+        keys = segments * stride + self._cell_of[members]
+        keys.sort()
+        first = _np.empty(keys.size, dtype=bool)
+        first[0] = True
+        _np.not_equal(keys[1:], keys[:-1], out=first[1:])
+        return _np.bincount(keys[first] // stride, minlength=num_segments)
+
+    def _touched(self, members) -> List[Tuple[int, object]]:
+        """Group members by cell: ``[(cell, members_in_cell), ...]``."""
+        if self._backend is Backend.NUMPY:
+            members = _np.asarray(members)
+            labels = self._cell_of[members]
+            cells, inverse = _np.unique(labels, return_inverse=True)
+            return [(int(cell), members[inverse == k]) for k, cell in enumerate(cells)]
+        by_cell: Dict[int, List[int]] = {}
+        for member in members:
+            by_cell.setdefault(int(self._cell_of[member]), []).append(member)
+        return list(by_cell.items())
+
+    def splits_gained(self, members) -> int:
+        """How many new cells :meth:`split` would create for this member set."""
+        gained = 0
+        for cell, inside in self._touched(members):
+            if len(inside) < int(self._cell_size[cell]):
+                gained += 1
+        return gained
+
+    def split(self, members) -> int:
+        """Refine by the member set; return the number of new cells created."""
+        created = 0
+        for cell, inside in self._touched(members):
+            n_inside = len(inside)
+            cell_size = int(self._cell_size[cell])
+            if n_inside == cell_size:
+                continue  # the whole cell lies on the path: nothing to split
+            new_cell = self._next_cell_id
+            self._next_cell_id += 1
+            if self._backend is Backend.NUMPY:
+                self._cell_of[inside] = new_cell
+            else:
+                for member in inside:
+                    self._cell_of[member] = new_cell
+            self._cell_size[new_cell] = n_inside
+            self._cell_size[cell] = cell_size - n_inside
+            self._num_cells += 1
+            created += 1
+        return created
+
+    def signature(self) -> Dict[int, int]:
+        """Canonical member -> cell labelling (for equality checks in tests)."""
+        canonical: Dict[int, int] = {}
+        labels: Dict[int, int] = {}
+        for member in range(self._num_ids):
+            cell = int(self._cell_of[member])
+            if cell not in labels:
+                labels[cell] = len(labels)
+            canonical[member] = labels[cell]
+        return canonical

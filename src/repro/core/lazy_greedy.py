@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
 
-__all__ = ["LazyMinHeap"]
+__all__ = ["LazyMinHeap", "BatchCELFHeap"]
 
 T = TypeVar("T")
 
@@ -84,3 +84,233 @@ class LazyMinHeap(Generic[T]):
         best_score, _, _, best_item = heapq.heappop(rescored)
         self._heap = rescored
         return best_score, best_item
+
+    def pop_eager_batch(
+        self, rescore_batch: Callable[[List[T]], List[float]]
+    ) -> Optional[Tuple[float, T]]:
+        """:meth:`pop_eager` with all candidates refreshed in one batch call.
+
+        Selections are identical to :meth:`pop_eager` (same scores, same
+        counters); the batch signature lets an array backend rescore the
+        whole candidate set in one vectorized kernel per iteration.
+        """
+        if not self._heap:
+            return None
+        fresh = rescore_batch([entry[3] for entry in self._heap])
+        rescored = [
+            (score, counter, stamp, item)
+            for score, (_, counter, stamp, item) in zip(fresh, self._heap)
+        ]
+        heapq.heapify(rescored)
+        best_score, _, _, best_item = heapq.heappop(rescored)
+        self._heap = rescored
+        return best_score, best_item
+
+
+class BatchCELFHeap:
+    """Integer-keyed CELF heap with chunked, batch-rescored pops.
+
+    A drop-in replacement for :class:`LazyMinHeap` + :meth:`~LazyMinHeap.pop_lazy`
+    built for the array incidence backend: candidate scores are *integers*
+    (Eq. 1 sums minus cell counts), so a heap entry packs ``(score, counter)``
+    into one Python int -- ``score * 2**41 + counter`` -- making every heap
+    operation a scalar comparison instead of a tuple compare.  Pops collect a
+    whole chunk of stale entries, refresh them in ONE ``rescore_batch`` call
+    (one vectorized kernel), then *replay* the unbatched CELF pop sequence
+    over the precomputed fresh scores with a prefix-minimum scan.
+
+    The replay is decision-for-decision identical to :meth:`LazyMinHeap.pop_lazy`:
+
+    * a refreshed entry pushed back this iteration wins the next pop exactly
+      when its fresh score is strictly below the next stale cached score (on
+      score ties the older counter wins, and pushed-back counters are newer);
+    * a just-refreshed entry is selected exactly when its fresh score is
+      ``<=`` the minimum of the best pushed-back score and the next cached
+      score (the heap-top comparison of the unbatched loop);
+    * entries past the selection point are restored untouched.
+
+    Only the *values* of the counters differ from the unbatched run (skipped
+    pushes shift them); their relative order -- the only thing pop order
+    depends on -- is preserved, so selections are byte-identical.
+    """
+
+    SHIFT_BITS = 41
+    _SHIFT = 1 << SHIFT_BITS  # counters stay below this; scores are small ints
+
+    def __init__(self, items: Iterable[Tuple[int, T]] = ()):
+        self._items: List[T] = []
+        self._stamps: List[int] = []
+        keys: List[int] = []
+        shift = self._SHIFT
+        for score, item in items:
+            counter = len(self._items)
+            self._items.append(item)
+            self._stamps.append(-1)
+            keys.append(score * shift + counter)
+        heapq.heapify(keys)
+        self._heap = keys
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _compact(self) -> None:
+        """Renumber counters to bound ``_items``/``_stamps`` growth.
+
+        Each item has at most one live heap entry, but every push-back
+        allocates a fresh counter slot, so the side arrays grow with total
+        rescores rather than heap size.  Renumbering entries in current
+        (score, counter) order preserves the relative order of every entry --
+        the only thing pop order depends on -- so selections are unaffected.
+        """
+        order = sorted(self._heap)
+        mask = self._SHIFT - 1
+        bits = self.SHIFT_BITS
+        shift = self._SHIFT
+        items = self._items
+        stamps = self._stamps
+        new_items: List[T] = []
+        new_stamps: List[int] = []
+        new_heap: List[int] = []
+        for new_counter, key in enumerate(order):
+            counter = key & mask
+            new_items.append(items[counter])
+            new_stamps.append(stamps[counter])
+            new_heap.append((key >> bits) * shift + new_counter)
+        self._items = new_items
+        self._stamps = new_stamps
+        self._heap = new_heap  # ascending order is a valid min-heap
+
+    def pop_lazy_batch(
+        self,
+        current_iteration: int,
+        rescore_batch: Callable[[List[T]], List[int]],
+        batch_size: int = 32,
+    ) -> Optional[Tuple[int, T]]:
+        heap = self._heap
+        if not heap:
+            return None
+        if len(self._items) > max(4 * len(heap), 65536):
+            self._compact()
+            heap = self._heap
+        mask = self._SHIFT - 1
+        bits = self.SHIFT_BITS
+        items = self._items
+        stamps = self._stamps
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        # Per-iteration refresh demand is bursty (symmetric fabrics alternate
+        # near-free selections with big refresh waves), so no hint from the
+        # previous iteration predicts it well.  Start small and grow the
+        # refill geometrically: overshoot stays a constant factor of the true
+        # demand while refills stay logarithmic.
+        chunk_size = batch_size
+
+        popped_keys: List[int] = []  # stale keys in pop order (ascending)
+        popped_scores: List[int] = []  # their cached scores, pre-decoded
+        fresh: List[int] = []  # their batch-computed fresh scores
+        boundary_key: Optional[int] = None  # first fresh entry reached, if any
+        boundary_score = 0
+        best: Optional[int] = None  # prefix-min of fresh ("sim top" of replay)
+        best_j = -1
+        i = 0
+        n = 0
+        kind = ""
+        while True:
+            if i >= n and boundary_key is None and heap:
+                chunk_keys: List[int] = []
+                chunk_items: List[T] = []
+                while heap and len(chunk_keys) < chunk_size:
+                    key = heappop(heap)
+                    counter = key & mask
+                    if stamps[counter] == current_iteration:
+                        boundary_key = key
+                        boundary_score = key >> bits
+                        break
+                    chunk_keys.append(key)
+                    chunk_items.append(items[counter])
+                if chunk_keys:
+                    fresh.extend(rescore_batch(chunk_items))
+                    popped_keys.extend(chunk_keys)
+                    popped_scores.extend(k >> bits for k in chunk_keys)
+                    n = len(popped_keys)
+                chunk_size *= 2
+
+            if i < n:
+                # Rule 1: an already-refreshed entry outranks this stale one
+                # (score strictly lower; on ties the older stale counter wins).
+                if best is not None and best < popped_scores[i]:
+                    kind = "sim"
+                    break
+                fresh_i = fresh[i]
+                # Smallest competing cached score: popped is in ascending key
+                # order and boundary / heap top rank above all of it.
+                i1 = i + 1
+                if i1 < n:
+                    nxt = popped_scores[i1]
+                elif boundary_key is not None:
+                    nxt = boundary_score
+                elif heap:
+                    nxt = heap[0] >> bits
+                else:
+                    nxt = None
+                if best is not None and (nxt is None or best < nxt):
+                    nxt = best
+                # Rule 2: the refreshed score keeps this entry at the top.
+                if nxt is None or fresh_i <= nxt:
+                    kind = "stale"
+                    break
+                if best is None or fresh_i < best:
+                    best = fresh_i
+                    best_j = i
+                i = i1
+                continue
+
+            # Every scored stale entry was processed without a winner.
+            if boundary_key is not None:
+                kind = "sim" if (best is not None and best < boundary_score) else "boundary"
+                break
+            if not heap:
+                kind = "sim" if best is not None else "none"
+                break
+            if best is not None and best < (heap[0] >> bits):
+                kind = "sim"
+                break
+            # The heap top (stale, unscored) is the global minimum: refill.
+
+        # Materialize: push refreshed-but-unselected entries with their fresh
+        # scores (new counters, relative order preserved), restore overshoot
+        # entries untouched, and hand back the selection.
+        sel_j = -1
+        if kind == "sim":
+            limit = i
+            sel_j = best_j
+            selected = (best, items[popped_keys[best_j] & mask])
+        elif kind == "stale":
+            limit = i
+            selected = (fresh[i], items[popped_keys[i] & mask])
+        elif kind == "boundary":
+            limit = n
+            selected = (boundary_score, items[boundary_key & mask])
+            boundary_key = None
+        else:
+            limit = n
+            selected = None
+
+        if limit:
+            shift = self._SHIFT
+            counter = len(items)
+            pushed_items: List[T] = []
+            for j in range(limit):
+                if j == sel_j:
+                    continue
+                pushed_items.append(items[popped_keys[j] & mask])
+                heappush(heap, fresh[j] * shift + counter)
+                counter += 1
+            items.extend(pushed_items)
+            stamps.extend([current_iteration] * len(pushed_items))
+        for j in range(i + 1 if kind == "stale" else limit, n):
+            heappush(heap, popped_keys[j])
+        if boundary_key is not None:
+            heappush(heap, boundary_key)
+
+        return selected

@@ -37,16 +37,23 @@ is unachievable (e.g. ``beta = 2`` in a 4-ary Fattree, §6.3).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
-from ..routing import Path, RoutingMatrix
+try:  # only used by the numpy-backend batch scorer
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy backend is then unavailable
+    _np = None
+
 from ..topology import PathOrbits, Topology
 from .decomposition import Subproblem, decompose_routing_matrix
-from .lazy_greedy import LazyMinHeap
-from .link_partition import LinkSetPartition
+from .incidence import Backend, RefinablePartition
+from .lazy_greedy import BatchCELFHeap, LazyMinHeap
 from .probe_matrix import ProbeMatrix
 from .virtual_links import ExtendedLinkSpace
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a routing<->core cycle
+    from ..routing import RoutingMatrix
 
 __all__ = ["PMCOptions", "PMCStats", "PMCResult", "construct_probe_matrix", "pmc_for_topology"]
 
@@ -104,7 +111,13 @@ class PMCOptions:
 
 @dataclass
 class PMCStats:
-    """Bookkeeping produced while constructing a probe matrix."""
+    """Bookkeeping produced while constructing a probe matrix.
+
+    ``candidates_scored`` counts scoring *work performed*, not distinct
+    candidates: the numpy backend's chunked rescoring scores whole batches at
+    a time, so its count includes chunk overshoot and is higher than the
+    python backend's for the same (byte-identical) selection sequence.
+    """
 
     iterations: int = 0
     candidates_scored: int = 0
@@ -216,7 +229,7 @@ def pmc_for_topology(
     it wires together path enumeration, orbit computation (when symmetry is
     requested) and the greedy itself.
     """
-    from ..routing import enumerate_candidate_paths
+    from ..routing import RoutingMatrix, enumerate_candidate_paths
 
     paths = enumerate_candidate_paths(topology, ordered=ordered_pairs)
     routing_matrix = RoutingMatrix(topology, paths)
@@ -232,13 +245,13 @@ def pmc_for_topology(
 # ---------------------------------------------------------------------------
 
 def _solve_subproblem(
-    routing_matrix: RoutingMatrix,
+    routing_matrix: "RoutingMatrix",
     subproblem: Subproblem,
     options: PMCOptions,
     orbits: Optional[PathOrbits],
 ) -> Tuple[List[int], PMCStats]:
     stats = PMCStats()
-    link_ids = list(subproblem.link_ids)
+    link_ids = sorted(subproblem.link_ids)
     path_indices = list(subproblem.path_indices)
     path_index_set = set(path_indices)
 
@@ -251,31 +264,81 @@ def _solve_subproblem(
         stats.uncoverable_links = tuple(link_ids)
         return [], stats
 
+    # The subproblem is solved on the dense local universe 0..n-1 (links in
+    # sorted-id order, matching the physical numbering of ExtendedLinkSpace):
+    # weights, coverage targets and the refinement partition are flat vectors
+    # and every per-path query is a gather over the projected CSR row.
+    index = routing_matrix.incidence
+    kernels = index.kernels
+    num_local = len(link_ids)
+    proj = index.projection(link_ids)
+
     extended = ExtendedLinkSpace(link_ids, options.beta)
-    partition = LinkSetPartition(extended.num_extended)
-    weights: Dict[int, int] = {link: 0 for link in link_ids}
+    partition = RefinablePartition(extended.num_extended, backend=index.backend)
+    weights = kernels.int_zeros(num_local)
 
-    coverable = {
-        link for link in link_ids if routing_matrix.paths_through(link)
-    }
-    stats.uncoverable_links = tuple(sorted(set(link_ids) - coverable))
-    under_covered: Set[int] = set(coverable) if options.alpha > 0 else set()
+    if options.beta >= 2:
+        # Virtual-link ids per path, computed on demand and cached (the lazy
+        # greedy revisits candidates).  For beta <= 1 the extended space *is*
+        # the local physical space, so the projected row doubles as ext row.
+        ext_cache: Dict[int, object] = {}
 
-    links_on = routing_matrix.links_on
+        def ext_row(path_index: int):
+            cached = ext_cache.get(path_index)
+            if cached is None:
+                covered = extended.extended_links_on_path(index.row_link_set(path_index))
+                cached = kernels.int_array(sorted(covered))
+                ext_cache[path_index] = cached
+            return cached
 
-    def score(path_index: int) -> float:
+    else:
+        ext_row = proj.row
+
+    # "Coverable" is judged against the full candidate set, exactly like the
+    # seed implementation (a link with zero candidate paths anywhere can never
+    # be covered, even if this subproblem has paths).
+    global_counts = index.coverage_counts()
+    coverable_locals = [
+        local for local, link in enumerate(link_ids) if global_counts[index.position(link)]
+    ]
+    stats.uncoverable_links = tuple(
+        link for link in link_ids if not global_counts[index.position(link)]
+    )
+    under_covered = kernels.bool_zeros(num_local)
+    under_count = 0
+    if options.alpha > 0 and coverable_locals:
+        kernels.set_true(under_covered, kernels.int_array(coverable_locals))
+        under_count = len(coverable_locals)
+
+    def score(path_index: int) -> int:
         stats.candidates_scored += 1
-        path_links = links_on(path_index)
-        weight_term = sum(weights[l] for l in path_links)
-        ext_on_path = extended.extended_links_on_path(path_links)
-        return weight_term - partition.cells_touched(ext_on_path)
+        weight_term = kernels.sum_at(weights, proj.row(path_index))
+        return weight_term - partition.cells_touched(ext_row(path_index))
+
+    # Batched rescoring (numpy backend, physical link space): the whole batch
+    # is scored with two segmented kernels instead of per-candidate gathers.
+    # For beta >= 2 the virtual-link rows are not CSR slices, so scoring stays
+    # per-candidate there.
+    use_batch_scoring = index.backend is Backend.NUMPY and options.beta <= 1
+
+    def rescore_batch(items: List[int]) -> List[int]:
+        stats.candidates_scored += len(items)
+        segments, locals_ = proj.batch(items)
+        weight_terms = _np.bincount(
+            segments, weights=weights[locals_], minlength=len(items)
+        ).astype(_np.int64)
+        cells = partition.cells_touched_segmented(segments, locals_, len(items))
+        return (weight_terms - cells).tolist()
 
     # Every non-empty path initially touches the single cell with zero weight,
     # so its initial score is exactly -1; empty paths score 0 and will be
     # discarded on pop.
-    heap: LazyMinHeap[int] = LazyMinHeap(
-        ((-1.0 if links_on(i) else 0.0), i) for i in path_indices
-    )
+    row_lengths = index.row_lengths()
+    initial = (((-1 if row_lengths[i] else 0), i) for i in path_indices)
+    if use_batch_scoring and options.use_lazy_update:
+        heap = BatchCELFHeap(initial)
+    else:
+        heap = LazyMinHeap(initial)
 
     selected: List[int] = []
     selected_set: Set[int] = set()
@@ -284,27 +347,26 @@ def _solve_subproblem(
 
     def goals_met() -> bool:
         refinement_done = partition.fully_refined if identifiability_needed else True
-        return refinement_done and not under_covered
+        return refinement_done and under_count == 0
 
     def marginal_gain(path_index: int) -> Tuple[int, int]:
         """(new cells the path would split off, under-covered links it crosses)."""
-        path_links = links_on(path_index)
-        covers = sum(1 for l in path_links if l in under_covered)
+        covers = kernels.count_true_at(under_covered, proj.row(path_index))
         splits = 0
         if identifiability_needed and not partition.fully_refined:
-            ext_on_path = extended.extended_links_on_path(path_links)
-            splits = partition.splits_gained(ext_on_path)
+            splits = partition.splits_gained(ext_row(path_index))
         return splits, covers
 
     def apply_selection(path_index: int) -> None:
-        path_links = links_on(path_index)
+        nonlocal under_count
+        cols = proj.row(path_index)
         if identifiability_needed:
-            ext_on_path = extended.extended_links_on_path(path_links)
-            partition.split(ext_on_path)
-        for link in path_links:
-            weights[link] += 1
-            if link in under_covered and weights[link] >= options.alpha:
-                under_covered.discard(link)
+            partition.split(ext_row(path_index))
+        kernels.add_at(weights, cols, 1)
+        if under_count:
+            under_count -= kernels.clear_if_reached(
+                under_covered, weights, cols, options.alpha
+            )
         selected.append(path_index)
         selected_set.add(path_index)
 
@@ -313,7 +375,12 @@ def _solve_subproblem(
             break
         iteration += 1
         if options.use_lazy_update:
-            popped = heap.pop_lazy(iteration, score)
+            if use_batch_scoring:
+                popped = heap.pop_lazy_batch(iteration, rescore_batch)
+            else:
+                popped = heap.pop_lazy(iteration, score)
+        elif use_batch_scoring:
+            popped = heap.pop_eager_batch(rescore_batch)
         else:
             popped = heap.pop_eager(score)
         if popped is None:
@@ -336,7 +403,7 @@ def _solve_subproblem(
                 orbits,
                 path_index_set,
                 selected_set,
-                links_on,
+                routing_matrix.links_on,
                 marginal_gain,
                 apply_selection,
                 options,
@@ -344,7 +411,7 @@ def _solve_subproblem(
             )
 
     stats.fully_refined = partition.fully_refined or not identifiability_needed
-    stats.coverage_satisfied = not under_covered
+    stats.coverage_satisfied = under_count == 0
     return selected, stats
 
 

@@ -3,7 +3,8 @@
 A probe matrix is a subset of the routing matrix rows (§4.1).  It is the
 artifact the controller distributes to pingers and the structure the PLL
 localization algorithm reasons over, so it carries the same link-incidence
-queries as :class:`~repro.routing.routing_matrix.RoutingMatrix` plus the
+queries as :class:`~repro.routing.routing_matrix.RoutingMatrix` (both are
+views over one :class:`~repro.core.incidence.IncidenceIndex`) plus the
 quality metrics the paper optimises:
 
 * *coverage*  -- every inter-switch link is crossed by at least ``alpha`` probe
@@ -16,10 +17,13 @@ quality metrics the paper optimises:
 from __future__ import annotations
 
 import json
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from ..routing import Path, RoutingMatrix
 from ..topology import Topology
+from .incidence import Backend, IncidenceIndex
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a routing<->core cycle
+    from ..routing import Path, RoutingMatrix
 
 __all__ = ["ProbeMatrix"]
 
@@ -30,19 +34,27 @@ class ProbeMatrix:
     def __init__(
         self,
         topology: Topology,
-        paths: Sequence[Path],
+        paths: Sequence["Path"],
         link_ids: Optional[Iterable[int]] = None,
+        backend: Optional[Backend] = None,
     ):
-        self._matrix = RoutingMatrix(topology, paths, link_ids=link_ids)
+        from ..routing import RoutingMatrix
+
+        self._matrix = RoutingMatrix(topology, paths, link_ids=link_ids, backend=backend)
 
     # ------------------------------------------------------------ constructors
     @classmethod
     def from_selection(
-        cls, routing_matrix: RoutingMatrix, selected_indices: Sequence[int]
+        cls, routing_matrix: "RoutingMatrix", selected_indices: Sequence[int]
     ) -> "ProbeMatrix":
         """Build a probe matrix from selected rows of a routing matrix."""
         paths = [routing_matrix.path(i) for i in selected_indices]
-        return cls(routing_matrix.topology, paths, link_ids=routing_matrix.link_ids)
+        return cls(
+            routing_matrix.topology,
+            paths,
+            link_ids=routing_matrix.link_ids,
+            backend=routing_matrix.backend,
+        )
 
     # ------------------------------------------------------------------ views
     @property
@@ -50,7 +62,16 @@ class ProbeMatrix:
         return self._matrix.topology
 
     @property
-    def paths(self) -> Sequence[Path]:
+    def incidence(self) -> IncidenceIndex:
+        """The shared CSR/CSC incidence index (the array-facing API)."""
+        return self._matrix.incidence
+
+    @property
+    def backend(self) -> Backend:
+        return self._matrix.backend
+
+    @property
+    def paths(self) -> Sequence["Path"]:
         return self._matrix.paths
 
     @property
@@ -65,7 +86,7 @@ class ProbeMatrix:
     def num_links(self) -> int:
         return self._matrix.num_links
 
-    def path(self, index: int) -> Path:
+    def path(self, index: int) -> "Path":
         return self._matrix.path(index)
 
     def links_on(self, path_index: int) -> FrozenSet[int]:
@@ -77,7 +98,7 @@ class ProbeMatrix:
     def contains_link(self, link_id: int) -> bool:
         return self._matrix.contains_link(link_id)
 
-    def as_routing_matrix(self) -> RoutingMatrix:
+    def as_routing_matrix(self) -> "RoutingMatrix":
         return self._matrix
 
     def to_sparse(self):
@@ -89,19 +110,22 @@ class ProbeMatrix:
         return self._matrix.coverage_histogram()
 
     def min_coverage(self) -> int:
-        histogram = self.link_coverage()
-        return min(histogram.values()) if histogram else 0
+        counts = self.incidence.coverage_counts()
+        return int(min(counts)) if len(counts) else 0
 
     def max_coverage(self) -> int:
-        histogram = self.link_coverage()
-        return max(histogram.values()) if histogram else 0
+        counts = self.incidence.coverage_counts()
+        return int(max(counts)) if len(counts) else 0
 
     def coverage_gap(self) -> int:
         """Max minus min link coverage -- the evenness metric of §4.2."""
-        return self.max_coverage() - self.min_coverage()
+        counts = self.incidence.coverage_counts()
+        if not len(counts):
+            return 0
+        return int(max(counts)) - int(min(counts))
 
     def uncovered_links(self) -> List[int]:
-        return [l for l, c in self.link_coverage().items() if c == 0]
+        return self._matrix.uncovered_links()
 
     def satisfies_coverage(self, alpha: int) -> bool:
         """``True`` when every link is crossed by at least ``alpha`` paths."""
@@ -116,11 +140,7 @@ class ProbeMatrix:
         operator observes, so distinct syndromes for distinct failure sets is
         the identifiability property (§4.1).
         """
-        affected: Set[int] = set()
-        for link_id in failed_links:
-            if self._matrix.contains_link(link_id):
-                affected.update(self._matrix.paths_through(link_id))
-        return frozenset(affected)
+        return frozenset(self.incidence.rows_touching_links(failed_links))
 
     # ------------------------------------------------------------ bookkeeping
     def paths_by_source(self) -> Dict[str, List[int]]:
@@ -163,7 +183,7 @@ class ProbeMatrix:
 
     @classmethod
     def from_json(cls, topology: Topology, payload: str) -> "ProbeMatrix":
-        from ..routing.paths import walk_to_link_ids
+        from ..routing.paths import Path, walk_to_link_ids
 
         data = json.loads(payload)
         if data.get("topology") != topology.name:

@@ -81,17 +81,18 @@ class OMPLocalizer:
         if not observed:
             return LocalizationResult([], {}, [], time.perf_counter() - start, self.name)
 
-        # Build the measurement system restricted to observed paths.
+        # Build the measurement system restricted to observed paths.  CSR rows
+        # of the incidence index are already column positions, so each row is
+        # one fancy-index assignment.
         link_ids = list(probe_matrix.link_ids)
-        column_of = {link: i for i, link in enumerate(link_ids)}
+        index = probe_matrix.incidence
         matrix = np.zeros((len(observed), len(link_ids)), dtype=float)
         y = np.zeros(len(observed), dtype=float)
         for row, path_index in enumerate(observed):
             obs = observations.get(path_index)
             rate = min(obs.loss_rate, config.clip_loss_rate)
             y[row] = -math.log(1.0 - rate)
-            for link in probe_matrix.links_on(path_index):
-                matrix[row, column_of[link]] = 1.0
+            matrix[row, index.row_cols(path_index)] = 1.0
 
         lossy_count = len(observations.lossy_paths())
         if lossy_count == 0:

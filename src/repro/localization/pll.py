@@ -31,10 +31,10 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core import ProbeMatrix
-from ..core.decomposition import decompose_by_link_sets
+from ..core.incidence import IncidenceIndex
 from .observations import LocalizationResult, ObservationSet
 
 __all__ = ["PLLConfig", "PLLLocalizer"]
@@ -97,17 +97,28 @@ class PLLLocalizer:
         unexplained: Set[int] = set()
 
         if lossy_paths:
+            # Observed/lossy path masks shared by every component; per-link
+            # counts are gathered component-locally so clean components cost
+            # nothing (the decomposition is what makes PLL fast, §5.3).
+            index = probe_matrix.incidence
+            kernels = index.kernels
+            observed_mask = kernels.bool_zeros(index.num_paths)
+            kernels.set_true(observed_mask, kernels.int_array(observed_paths))
+            lossy_mask = kernels.bool_zeros(index.num_paths)
+            kernels.set_true(lossy_mask, kernels.int_array(sorted(lossy_paths)))
+
             components = self._components(probe_matrix, observed_paths)
             for component_links, component_paths in components:
-                component_lossy = lossy_paths & set(component_paths)
+                component_lossy = lossy_paths.intersection(component_paths)
                 if not component_lossy:
                     continue
                 picked, remaining = self._solve_component(
-                    probe_matrix,
+                    index,
                     component_links,
                     component_paths,
                     losses,
-                    lossy_paths,
+                    lossy_mask,
+                    observed_mask,
                 )
                 suspected.extend(picked)
                 unexplained.update(remaining)
@@ -128,44 +139,43 @@ class PLLLocalizer:
     # ------------------------------------------------------------------ steps
     def _components(
         self, probe_matrix: ProbeMatrix, observed_paths: Sequence[int]
-    ) -> List[Tuple[List[int], List[int]]]:
+    ) -> List[Tuple[Sequence[int], Sequence[int]]]:
         """Step 1: split (links, paths) into independent components."""
         if not self.config.use_decomposition:
             return [(list(probe_matrix.link_ids), list(observed_paths))]
-        link_sets = [probe_matrix.links_on(i) for i in observed_paths]
-        subproblems = decompose_by_link_sets(link_sets, probe_matrix.link_ids)
-        components = []
-        for sub in subproblems:
-            paths = [observed_paths[i] for i in sub.path_indices]
-            components.append((list(sub.link_ids), paths))
-        return components
+        return probe_matrix.incidence.components(observed_paths)
 
     def _solve_component(
         self,
-        probe_matrix: ProbeMatrix,
+        index: IncidenceIndex,
         component_links: Sequence[int],
         component_paths: Sequence[int],
         losses: Dict[int, int],
-        lossy_paths: Set[int],
+        lossy_mask,
+        observed_mask,
     ) -> Tuple[List[int], Set[int]]:
         """Steps 2-5 for one component."""
         config = self.config
-        component_path_set = set(component_paths)
+        kernels = index.kernels
 
-        # Step 2: keep only links with at least one lossy path; compute hit ratios.
+        # Step 2: keep only links with at least one lossy path; compute hit
+        # ratios.  Counts are mask-gathers over the link's CSC column;
+        # observed paths through a component link are exactly the component's
+        # paths through it, so no per-component filtering is needed.
         candidates: Dict[int, List[int]] = {}
         hit_ratio: Dict[int, float] = {}
         for link in component_links:
-            paths_here = [p for p in probe_matrix.paths_through(link) if p in component_path_set]
+            rows = index.col_rows(index.position(link))
+            paths_here = kernels.count_true_at(observed_mask, rows)
             if not paths_here:
                 continue
-            lossy_here = [p for p in paths_here if p in lossy_paths]
-            if not lossy_here:
+            lossy_here = kernels.take_true(rows, lossy_mask)
+            if not len(lossy_here):
                 continue  # all probe paths through this link are clean -> link is good
-            candidates[link] = lossy_here
-            hit_ratio[link] = len(lossy_here) / len(paths_here)
+            candidates[link] = [int(p) for p in lossy_here]
+            hit_ratio[link] = len(lossy_here) / paths_here
 
-        unexplained: Set[int] = {p for p in component_paths if p in lossy_paths}
+        unexplained: Set[int] = {p for p in component_paths if lossy_mask[p]}
         picked: List[int] = []
 
         def greedy(pool: Iterable[int]) -> None:

@@ -53,17 +53,25 @@ class ScoreLocalizer:
     ) -> LocalizationResult:
         start = time.perf_counter()
 
-        observed = set(observations.path_indices())
+        observed = observations.path_indices()
         lossy_paths: Set[int] = set(observations.lossy_paths())
 
-        # Risk groups restricted to observed paths.
+        # Risk groups restricted to observed paths, gathered off the CSC
+        # columns through an observed-path mask.
+        index = probe_matrix.incidence
+        kernels = index.kernels
+        observed_mask = kernels.bool_zeros(index.num_paths)
+        kernels.set_true(observed_mask, kernels.int_array(observed))
         group: Dict[int, Set[int]] = {}
         lossy_in_group: Dict[int, Set[int]] = {}
         for path in lossy_paths:
             for link in probe_matrix.links_on(path):
                 if link not in group:
                     members = {
-                        p for p in probe_matrix.paths_through(link) if p in observed
+                        int(p)
+                        for p in kernels.take_true(
+                            index.col_rows(index.position(link)), observed_mask
+                        )
                     }
                     group[link] = members
                     lossy_in_group[link] = members & lossy_paths

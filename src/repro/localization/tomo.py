@@ -68,14 +68,19 @@ class TomoLocalizer:
                 candidates.setdefault(link, set()).add(path)
 
         if self.config.prune_on_good_paths:
-            pruned = {}
-            for link, covered in candidates.items():
-                on_good_path = any(
-                    p in good_paths for p in probe_matrix.paths_through(link)
-                )
-                if not on_good_path:
-                    pruned[link] = covered
-            candidates = pruned
+            # One vectorized pass: a link with any loss-free observed path is
+            # exonerated under the full-loss assumption.
+            index = probe_matrix.incidence
+            kernels = index.kernels
+            good_mask = kernels.bool_zeros(index.num_paths)
+            if good_paths:
+                kernels.set_true(good_mask, kernels.int_array(sorted(good_paths)))
+            good_counts = index.masked_col_counts(good_mask)
+            candidates = {
+                link: covered
+                for link, covered in candidates.items()
+                if not good_counts[index.position(link)]
+            }
 
         unexplained = set(lossy_paths)
         suspected: List[int] = []

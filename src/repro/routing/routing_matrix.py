@@ -3,19 +3,23 @@
 §4.1 of the paper defines ``R`` as an ``m x n`` 0/1 matrix where ``R[i, j] = 1``
 iff link ``j`` lies on path ``i``.  At data-center scale a dense matrix is not
 an option (Fattree(64) has ~4.3e9 candidate paths), so :class:`RoutingMatrix`
-keeps the incidence as
+keeps the incidence in one shared CSR/CSC structure -- the
+:class:`~repro.core.incidence.IncidenceIndex` -- and exposes the two legacy
+query views on top of it:
 
 * ``links_on(path)``   -- the frozen set of link ids of each path, and
 * ``paths_through(l)`` -- the sorted tuple of path indices crossing link ``l``
 
-and only materialises a :mod:`scipy.sparse` matrix on demand (useful for the
-OMP localization baseline and for tests).
+while PMC, PLL and the decomposition work on the flat arrays directly (via
+:attr:`incidence`).  A :mod:`scipy.sparse` matrix is only materialised on
+demand (useful for the OMP localization baseline and for tests).
 """
 
 from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..core.incidence import Backend, IncidenceIndex
 from ..topology import Topology
 from .paths import Path
 
@@ -36,6 +40,9 @@ class RoutingMatrix:
     link_ids:
         The link universe.  Defaults to all inter-switch links of the
         topology, which is what deTector's probe matrix targets (§3.1).
+    backend:
+        Incidence backend (:class:`~repro.core.incidence.Backend`, its string
+        value, or ``None`` for the ``REPRO_BACKEND``/auto default).
     """
 
     def __init__(
@@ -43,27 +50,17 @@ class RoutingMatrix:
         topology: Topology,
         paths: Sequence[Path],
         link_ids: Optional[Iterable[int]] = None,
+        backend: Optional[Backend] = None,
     ):
         self._topology = topology
-        self._paths: List[Path] = list(paths)
+        self._paths: Tuple[Path, ...] = tuple(paths)
         if link_ids is None:
             universe = [link.link_id for link in topology.switch_links]
         else:
             universe = sorted(set(link_ids))
-        self._link_ids: Tuple[int, ...] = tuple(universe)
-        universe_set = frozenset(universe)
-        self._universe_set = universe_set
-
-        self._links_on: List[FrozenSet[int]] = []
-        paths_through: Dict[int, List[int]] = {link_id: [] for link_id in universe}
-        for index, path in enumerate(self._paths):
-            on_universe = frozenset(l for l in path.link_ids if l in universe_set)
-            self._links_on.append(on_universe)
-            for link_id in on_universe:
-                paths_through[link_id].append(index)
-        self._paths_through: Dict[int, Tuple[int, ...]] = {
-            link_id: tuple(indices) for link_id, indices in paths_through.items()
-        }
+        self._index = IncidenceIndex(
+            [path.link_ids for path in self._paths], universe, backend=backend
+        )
 
     # ------------------------------------------------------------------ views
     @property
@@ -71,8 +68,17 @@ class RoutingMatrix:
         return self._topology
 
     @property
-    def paths(self) -> Sequence[Path]:
-        return tuple(self._paths)
+    def incidence(self) -> IncidenceIndex:
+        """The shared CSR/CSC incidence index (the array-facing API)."""
+        return self._index
+
+    @property
+    def backend(self) -> Backend:
+        return self._index.backend
+
+    @property
+    def paths(self) -> Tuple[Path, ...]:
+        return self._paths
 
     @property
     def num_paths(self) -> int:
@@ -80,41 +86,43 @@ class RoutingMatrix:
 
     @property
     def link_ids(self) -> Tuple[int, ...]:
-        return self._link_ids
+        return self._index.link_ids
 
     @property
     def num_links(self) -> int:
-        return len(self._link_ids)
+        return self._index.num_links
 
     def path(self, index: int) -> Path:
         return self._paths[index]
 
     def links_on(self, path_index: int) -> FrozenSet[int]:
         """Link ids (restricted to the universe) traversed by a path."""
-        return self._links_on[path_index]
+        return self._index.row_link_set(path_index)
 
     def paths_through(self, link_id: int) -> Tuple[int, ...]:
         """Indices of paths that traverse the link."""
         try:
-            return self._paths_through[link_id]
+            return self._index.paths_through(link_id)
         except KeyError:
             raise KeyError(f"link {link_id} is not in the routing-matrix universe") from None
 
     def contains_link(self, link_id: int) -> bool:
-        return link_id in self._universe_set
+        return self._index.contains_link(link_id)
 
     # ------------------------------------------------------------ diagnostics
     def covered_links(self) -> List[int]:
         """Links crossed by at least one candidate path."""
-        return [l for l in self._link_ids if self._paths_through[l]]
+        counts = self._index.coverage_counts()
+        return [l for col, l in enumerate(self.link_ids) if counts[col]]
 
     def uncovered_links(self) -> List[int]:
         """Links no candidate path can probe (PMC can never cover these)."""
-        return [l for l in self._link_ids if not self._paths_through[l]]
+        counts = self._index.coverage_counts()
+        return [l for col, l in enumerate(self.link_ids) if not counts[col]]
 
     def coverage_histogram(self) -> Dict[int, int]:
         """Map ``link_id -> number of candidate paths`` through it."""
-        return {l: len(self._paths_through[l]) for l in self._link_ids}
+        return self._index.coverage_histogram()
 
     def summary(self) -> Mapping[str, int]:
         histogram = self.coverage_histogram()
@@ -122,7 +130,7 @@ class RoutingMatrix:
         return {
             "paths": self.num_paths,
             "links": self.num_links,
-            "uncovered_links": len(self.uncovered_links()),
+            "uncovered_links": sum(1 for v in values if v == 0),
             "min_link_coverage": min(values) if values else 0,
             "max_link_coverage": max(values) if values else 0,
         }
@@ -130,26 +138,11 @@ class RoutingMatrix:
     # ------------------------------------------------------------ conversions
     def column_index(self) -> Dict[int, int]:
         """Map from link id to column position in :meth:`to_sparse`."""
-        return {link_id: column for column, link_id in enumerate(self._link_ids)}
+        return {link_id: column for column, link_id in enumerate(self.link_ids)}
 
     def to_sparse(self):
         """Export as a ``scipy.sparse.csr_matrix`` of shape (paths, links)."""
-        from scipy import sparse
-
-        columns = self.column_index()
-        data: List[int] = []
-        row_indices: List[int] = []
-        col_indices: List[int] = []
-        for row, links in enumerate(self._links_on):
-            for link_id in links:
-                row_indices.append(row)
-                col_indices.append(columns[link_id])
-                data.append(1)
-        return sparse.csr_matrix(
-            (data, (row_indices, col_indices)),
-            shape=(self.num_paths, self.num_links),
-            dtype=float,
-        )
+        return self._index.to_scipy_csr()
 
     def to_dense(self):
         """Dense ``numpy`` export (small instances / tests only)."""
@@ -158,4 +151,6 @@ class RoutingMatrix:
     def subset(self, path_indices: Sequence[int]) -> "RoutingMatrix":
         """A new routing matrix restricted to the given paths (same universe)."""
         selected = [self._paths[i] for i in path_indices]
-        return RoutingMatrix(self._topology, selected, link_ids=self._link_ids)
+        return RoutingMatrix(
+            self._topology, selected, link_ids=self.link_ids, backend=self.backend
+        )

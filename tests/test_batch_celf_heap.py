@@ -1,0 +1,116 @@
+"""BatchCELFHeap must replay the unbatched CELF pop sequence exactly.
+
+Covers the paths the PMC driver does not reach on its own: the boundary
+branch (a second pop in the *same* iteration encountering freshly-stamped
+entries), counter compaction, and a randomized differential against
+``LazyMinHeap.pop_lazy`` including non-monotone score evolutions.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.lazy_greedy import BatchCELFHeap, LazyMinHeap
+
+
+def scores_fn(table):
+    def rescore(item):
+        return table[item]
+
+    return rescore
+
+
+def batch_fn(table):
+    def rescore_batch(items):
+        return [table[item] for item in items]
+
+    return rescore_batch
+
+
+class TestBoundaryBranch:
+    def test_fresh_entry_returned_on_second_pop_same_iteration(self):
+        heap = BatchCELFHeap([(0, "a"), (0, "b"), (10, "c")])
+        table = {"a": 5, "b": 3, "c": 10}
+        assert heap.pop_lazy_batch(1, batch_fn(table)) == (3, "b")
+        # "a" went back stamped fresh with score 5; a second pop in the same
+        # iteration must return it without rescoring (boundary fast path).
+        def forbidden(items):
+            raise AssertionError(f"should not rescore {items}")
+
+        assert heap.pop_lazy_batch(1, forbidden) == (5, "a")
+
+    def test_boundary_behind_stale_entries(self):
+        heap = BatchCELFHeap([(0, "a"), (0, "b"), (4, "c")])
+        table = {"a": 5, "b": 3, "c": 4}
+        assert heap.pop_lazy_batch(1, batch_fn(table)) == (3, "b")
+        # Second pop, same iteration: stale "c" (cached 4) sorts ahead of the
+        # fresh "a" (5).  If "c" rescored above 5, the fresh entry wins.
+        table["c"] = 7
+        assert heap.pop_lazy_batch(1, batch_fn(table)) == (5, "a")
+        # And "c" was pushed back refreshed: it is the only entry left.
+        assert heap.pop_lazy_batch(1, batch_fn(table)) == (7, "c")
+        assert heap.pop_lazy_batch(1, batch_fn(table)) is None
+
+    def test_matches_unbatched_across_same_iteration_pops(self):
+        items = [(0, i) for i in range(12)]
+        table = {i: (i * 7) % 5 for i in range(12)}
+        batched = BatchCELFHeap(items)
+        unbatched = LazyMinHeap(items)
+        for iteration in (1, 1, 1, 2, 2, 3):
+            got = batched.pop_lazy_batch(iteration, batch_fn(table), batch_size=2)
+            want = unbatched.pop_lazy(iteration, scores_fn(table))
+            assert got == want
+
+
+class TestCompaction:
+    def test_compact_preserves_pop_order(self):
+        rng = random.Random(3)
+        items = [(rng.randint(-5, 5), i) for i in range(50)]
+        table = {i: rng.randint(-5, 10) for i in range(50)}
+        compacted = BatchCELFHeap(list(items))
+        reference = BatchCELFHeap(list(items))
+        for iteration in range(1, 20):
+            # Scores drift so push-backs accumulate in the side arrays.
+            for key in table:
+                table[key] += rng.randint(0, 2)
+            compacted._compact()
+            got = compacted.pop_lazy_batch(iteration, batch_fn(table), batch_size=4)
+            want = reference.pop_lazy_batch(iteration, batch_fn(table), batch_size=4)
+            assert got == want
+        compacted._compact()
+        assert len(compacted._items) == len(compacted._heap)
+
+    def test_automatic_compaction_triggers(self):
+        heap = BatchCELFHeap([(0, i) for i in range(4)])
+        # Inflate the side arrays past the 4x-heap threshold (the 65536 floor
+        # is for realistic sizes; bypass it by shrinking the constant check
+        # through many artificial push-backs).
+        heap._items.extend([0] * 70000)
+        heap._stamps.extend([-1] * 70000)
+        table = {i: i for i in range(4)}
+        assert heap.pop_lazy_batch(1, batch_fn(table)) == (0, 0)
+        assert len(heap._items) <= 8
+
+
+class TestRandomizedDifferential:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_identical_to_pop_lazy(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 40)
+        initial = [(rng.randint(-3, 3), i) for i in range(n)]
+        batched = BatchCELFHeap(list(initial))
+        unbatched = LazyMinHeap(list(initial))
+        table = {i: score for score, i in initial}
+        for iteration in range(1, 30):
+            # Non-monotone drift: scores may rise or fall, like the Eq. 1
+            # score under partition refinement.
+            for key in table:
+                table[key] += rng.randint(-1, 3)
+            batch_size = rng.choice([1, 2, 3, 8, 64])
+            got = batched.pop_lazy_batch(iteration, batch_fn(table), batch_size=batch_size)
+            want = unbatched.pop_lazy(iteration, scores_fn(table))
+            assert got == want, f"iteration {iteration} diverged"
+            if got is None:
+                break

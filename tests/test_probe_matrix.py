@@ -102,3 +102,30 @@ class TestSerialization:
         payload = fattree4_probe_matrix.to_json()
         with pytest.raises(ValueError):
             ProbeMatrix.from_json(fattree6, payload)
+
+    def test_json_round_trip_link_incidence_and_path_set(
+        self, fattree4, fattree4_probe_matrix
+    ):
+        """Regression: serialize -> deserialize must preserve the *entire*
+        incidence structure (both directions) and the path set itself, not
+        just per-path link sets."""
+        original = fattree4_probe_matrix
+        restored = ProbeMatrix.from_json(fattree4, original.to_json())
+
+        # Identical link incidence, both path->links and links->paths.
+        assert restored.link_ids == original.link_ids
+        for link in original.link_ids:
+            assert restored.paths_through(link) == original.paths_through(link)
+        assert restored.link_coverage() == original.link_coverage()
+
+        # Identical path set: node walks, endpoints and waypoints survive.
+        original_paths = {
+            (p.nodes, p.src, p.dst, p.via) for p in original.paths
+        }
+        restored_paths = {
+            (p.nodes, p.src, p.dst, p.via) for p in restored.paths
+        }
+        assert restored_paths == original_paths
+
+        # A second round trip is byte-stable.
+        assert restored.to_json() == original.to_json()
