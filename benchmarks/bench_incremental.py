@@ -1,0 +1,149 @@
+"""Incremental-cycle wall-clock benchmark: writes ``BENCH_incremental.json``.
+
+Drives two controllers over the *same* churn schedule (small link deltas, the
+paper's "handful of devices per 10-minute cycle" regime):
+
+* the **full-rebuild** controller runs ``Controller.run_cycle`` every cycle
+  (the paper's behaviour: re-filter candidates, rebuild the routing matrix,
+  re-run PMC, regenerate pinglists), and
+* the **incremental** controller runs ``Controller.run_incremental_cycle``
+  (delta -> incidence link masks -> warm-started PMC over surviving rows).
+
+Every cycle the two probe matrices are asserted byte-identical, so the
+benchmark doubles as an end-to-end differential check.  Used by the CI
+benchmark-smoke job in quick mode; run the full configuration locally with::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--quick] [--out BENCH_incremental.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro.monitor import Controller, ControllerConfig, Watchdog
+from repro.simulation import ChurnSchedule
+from repro.topology import build_bcube, build_fattree
+
+
+def bench(name: str, topology, cycles: int, seed: int = 2017) -> dict:
+    config = ControllerConfig(alpha=2, beta=1, churn_rebuild_threshold=8)
+
+    full_watchdog = Watchdog(topology)
+    incr_watchdog = Watchdog(topology)
+    full_ctrl = Controller(topology, config, watchdog=full_watchdog)
+    incr_ctrl = Controller(topology, config, watchdog=incr_watchdog)
+
+    # Steady-state link churn: <= 3 concurrently failed links, no switch or
+    # server events, so every delta stays well under the rebuild threshold.
+    schedule = ChurnSchedule.generate(
+        topology,
+        np.random.default_rng(seed),
+        num_cycles=cycles,
+        mean_events_per_cycle=1.5,
+        switch_probability=0.0,
+        server_probability=0.0,
+        max_failed_links=3,
+    )
+
+    # Cold bootstrap cycle (pays candidate enumeration + index construction).
+    t0 = time.perf_counter()
+    full_ctrl.run_cycle()
+    cold_seconds = time.perf_counter() - t0
+    incr_ctrl.run_incremental_cycle()  # bootstrap (full) + cache warm-up
+    incr_ctrl.run_incremental_cycle()  # seeds the CELF warm cache
+
+    full_times, incr_times, reused = [], [], 0
+    subproblems = 0
+    incr_cycle = None
+    for delta in schedule:
+        full_watchdog.apply_delta(delta)
+        incr_watchdog.apply_delta(delta)
+
+        t0 = time.perf_counter()
+        full_cycle = full_ctrl.run_cycle()
+        full_times.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        incr_cycle = incr_ctrl.run_incremental_cycle()
+        incr_times.append(time.perf_counter() - t0)
+
+        if full_cycle.probe_matrix.to_json() != incr_cycle.probe_matrix.to_json():
+            raise SystemExit(f"incremental result diverged from full rebuild on {name}")
+        stats = incr_cycle.pmc_result.stats
+        reused += stats.reused_subproblems
+        subproblems += stats.subproblems
+
+    full_mean = statistics.fmean(full_times)
+    incr_mean = statistics.fmean(incr_times)
+    row = {
+        "topology": name,
+        "cycles": cycles,
+        "total_churn": schedule.total_churn,
+        "max_delta_churn": schedule.max_churn,
+        "candidate_paths": len(full_ctrl.candidate_paths()),
+        "selected_paths": incr_cycle.probe_matrix.num_paths,
+        "cold_bootstrap_seconds": round(cold_seconds, 4),
+        "full_rebuild_mean_seconds": round(full_mean, 4),
+        "full_rebuild_median_seconds": round(statistics.median(full_times), 4),
+        "incremental_mean_seconds": round(incr_mean, 4),
+        "incremental_median_seconds": round(statistics.median(incr_times), 4),
+        "speedup_full_over_incremental": round(full_mean / max(incr_mean, 1e-9), 2),
+        "warm_cache_reuse_fraction": round(reused / max(subproblems, 1), 3),
+        "results_identical": True,
+    }
+    return row
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small instances only")
+    parser.add_argument("--cycles", type=int, default=None, help="churn cycles per topology")
+    parser.add_argument("--out", default="BENCH_incremental.json")
+    args = parser.parse_args()
+
+    # Warm up lazy imports so the first timed cycle is not charged for them.
+    import scipy.sparse.csgraph  # noqa: F401
+
+    if args.quick:
+        instances = [
+            ("fattree8", build_fattree(8)),
+            ("bcube41", build_bcube(4, 1)),
+        ]
+        cycles = args.cycles or 4
+    else:
+        instances = [
+            ("fattree16", build_fattree(16)),
+            ("bcube42", build_bcube(4, 2)),
+        ]
+        cycles = args.cycles or 6
+
+    report = {
+        "benchmark": "incremental_cycle_latency",
+        "config": {
+            "alpha": 2,
+            "beta": 1,
+            "churn": "mean 1.5 link events/cycle, <= 3 concurrent failures",
+        },
+        "python_version": platform.python_version(),
+        "rows": [bench(name, topology, cycles) for name, topology in instances],
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in report["rows"]:
+        print(
+            f"{row['topology']:>10}: full={row['full_rebuild_mean_seconds']:.3f}s "
+            f"incremental={row['incremental_mean_seconds']:.3f}s "
+            f"(x{row['speedup_full_over_incremental']}) "
+            f"reuse={row['warm_cache_reuse_fraction']:.0%} sel={row['selected_paths']}"
+        )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Validate the code references in the documentation suite.
+
+Scans ``docs/PAPER_MAP.md`` (and any other docs passed on the command line)
+for backticked code anchors and verifies each one still exists:
+
+* ``repro.module``, ``repro.module.Name`` or ``repro.module.Name.attr`` --
+  resolved by importing the longest importable module prefix and walking the
+  remaining attributes;
+* ``src/...``, ``benchmarks/...``, ``tests/...`` or ``scripts/...`` file
+  paths (optionally with a ``:line`` suffix) -- checked against the repo
+  tree.
+
+Exits non-zero listing every broken reference, so CI fails when a refactor
+renames a module or class the docs still point at.  Run locally with::
+
+    PYTHONPATH=src python scripts/check_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_DOCS = ["docs/PAPER_MAP.md", "docs/TUNING.md"]
+
+BACKTICK = re.compile(r"`([^`]+)`")
+DOTTED = re.compile(r"^repro(?:\.\w+)+$")
+FILEPATH = re.compile(r"^(?:src|benchmarks|tests|scripts|examples|docs)/[\w./-]+$")
+
+
+def check_dotted(ref: str) -> Tuple[bool, str]:
+    """Resolve a ``repro.x.y.Z`` reference by import + getattr walk."""
+    parts = ref.split(".")
+    module = None
+    attr_start = len(parts)
+    # Longest importable prefix wins; attributes take over from there.
+    for end in range(len(parts), 0, -1):
+        try:
+            module = importlib.import_module(".".join(parts[:end]))
+            attr_start = end
+            break
+        except ImportError:
+            continue
+        except Exception as exc:  # pragma: no cover - import-time crash
+            return False, f"import error: {exc!r}"
+    if module is None:
+        return False, "no importable module prefix"
+    target = module
+    for attr in parts[attr_start:]:
+        if not hasattr(target, attr):
+            return False, f"{type(target).__name__} {'.'.join(parts[:attr_start])!r} has no attribute chain {'.'.join(parts[attr_start:])!r}"
+        target = getattr(target, attr)
+    return True, ""
+
+
+def check_filepath(ref: str) -> Tuple[bool, str]:
+    path = ref.split(":", 1)[0]  # tolerate file.py:123 anchors
+    if (REPO_ROOT / path).exists():
+        return True, ""
+    return False, "file does not exist"
+
+
+def check_document(doc_path: Path) -> List[str]:
+    errors: List[str] = []
+    seen = set()
+    text = doc_path.read_text(encoding="utf-8")
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        for match in BACKTICK.finditer(line):
+            ref = match.group(1).strip()
+            if ref in seen:
+                continue
+            seen.add(ref)
+            if DOTTED.match(ref):
+                ok, reason = check_dotted(ref)
+            elif FILEPATH.match(ref):
+                ok, reason = check_filepath(ref)
+            else:
+                continue  # not a code anchor (env vars, shell snippets, ...)
+            if not ok:
+                errors.append(f"{doc_path}:{line_number}: `{ref}` -- {reason}")
+    return errors
+
+
+def main(argv: List[str]) -> int:
+    docs = argv[1:] or DEFAULT_DOCS
+    errors: List[str] = []
+    checked = 0
+    for doc in docs:
+        path = REPO_ROOT / doc
+        if not path.exists():
+            errors.append(f"{doc}: document not found")
+            continue
+        checked += 1
+        errors.extend(check_document(path))
+    if errors:
+        print(f"check_docs: {len(errors)} broken reference(s):", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"check_docs: all code references resolve ({checked} document(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

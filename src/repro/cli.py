@@ -56,6 +56,19 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--failures", type=int, default=1, help="concurrent failures per window")
     monitor.add_argument("--probes-per-second", type=float, default=10.0)
     monitor.add_argument("--seed", type=int, default=2017)
+    monitor.add_argument(
+        "--incremental",
+        action="store_true",
+        help="run churn-aware incremental controller cycles instead of full rebuilds",
+    )
+    monitor.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="MEAN",
+        help="mean topology-churn events per cycle (0 disables churn; implies one "
+        "controller cycle per window)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure of the paper")
     experiment.add_argument(
@@ -151,7 +164,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro import build_fattree
     from repro.localization import aggregate_metrics
     from repro.monitor import ControllerConfig, DetectorSystem
-    from repro.simulation import FailureGenerator
+    from repro.simulation import ChurnSchedule, FailureGenerator
 
     topology = build_fattree(args.k)
     rng = np.random.default_rng(args.seed)
@@ -162,13 +175,25 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             alpha=args.alpha, beta=args.beta, probes_per_second=args.probes_per_second
         ),
     )
-    cycle = system.run_controller_cycle()
+    schedule = (
+        ChurnSchedule.generate(topology, rng, num_cycles=args.windows, mean_events_per_cycle=args.churn)
+        if args.churn > 0
+        else None
+    )
+    cycle = system.run_controller_cycle(incremental=args.incremental)
     print(
         f"controller: {cycle.probe_matrix.num_paths} probe paths, {cycle.num_pingers} pingers"
     )
     generator = FailureGenerator(topology, rng)
     metrics = []
     for window in range(args.windows):
+        if schedule is not None:
+            system.watchdog.apply_delta(schedule[window])
+            cycle = system.run_controller_cycle(incremental=args.incremental)
+            print(
+                f"cycle {cycle.version} [{cycle.mode}]: "
+                f"{schedule[window].describe()} -> {cycle.probe_matrix.num_paths} paths"
+            )
         scenario = generator.generate(args.failures)
         outcome = system.run_window(scenario)
         metrics.append(outcome.metrics)

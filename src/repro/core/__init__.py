@@ -2,9 +2,16 @@
 
 from .decomposition import Subproblem, decompose_by_link_sets, decompose_routing_matrix
 from .incidence import Backend, IncidenceIndex, RefinablePartition, RowProjection, resolve_backend
-from .lazy_greedy import BatchCELFHeap, LazyMinHeap
+from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap
 from .link_partition import LinkSetPartition
-from .pmc import PMCOptions, PMCResult, PMCStats, construct_probe_matrix, pmc_for_topology
+from .pmc import (
+    PMCOptions,
+    PMCResult,
+    PMCStats,
+    construct_probe_matrix,
+    construct_probe_matrix_masked,
+    pmc_for_topology,
+)
 from .probe_matrix import ProbeMatrix
 from .properties import (
     check_coverage,
@@ -21,6 +28,7 @@ __all__ = [
     "PMCResult",
     "PMCStats",
     "construct_probe_matrix",
+    "construct_probe_matrix_masked",
     "pmc_for_topology",
     "Backend",
     "IncidenceIndex",
@@ -28,6 +36,7 @@ __all__ = [
     "RowProjection",
     "resolve_backend",
     "BatchCELFHeap",
+    "CELFSolutionCache",
     "LazyMinHeap",
     "LinkSetPartition",
     "ExtendedLinkSpace",

@@ -303,6 +303,12 @@ class IncidenceIndex:
         self._row_set_cache: Dict[int, FrozenSet[int]] = {}
         self._col_tuple_cache: Dict[int, Tuple[int, ...]] = {}
         self._entry_rows = None  # numpy only: row id of every CSR entry
+        # Link-mask state (see the "link masking" section): masked column
+        # positions plus, per row, how many of its links are currently masked.
+        # A row is active iff its blocker count is zero.  Allocated lazily so
+        # mask-free indices pay nothing.
+        self._masked_cols: set = set()
+        self._row_blockers = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -421,6 +427,99 @@ class IncidenceIndex:
         for col in range(self.num_links):
             counts[col] = sum(1 for r in self.col_rows(col) if row_mask[r])
         return counts
+
+    # ----------------------------------------------------------- link masking
+    #
+    # A *link mask* marks a set of columns (failed links) as unusable and,
+    # derived from it, every row crossing a masked column as inactive.  The
+    # CSR/CSC arrays are never touched -- masking is a cheap overlay
+    # (O(paths through the masked links) per apply/revert), which is what
+    # makes incremental controller cycles possible: instead of re-ingesting
+    # half a million paths after a 2-link delta, the cached index applies a
+    # 2-column mask and hands PMC the surviving rows.
+
+    def apply_link_mask(self, link_ids: Iterable[int]) -> Tuple[int, ...]:
+        """Mask links (failed in the current delta); returns the ids newly masked.
+
+        Ids outside the universe (e.g. server uplinks of a failed switch) are
+        ignored, as are already-masked ids -- apply/revert therefore compose
+        like set operations.
+        """
+        newly = []
+        for link_id in link_ids:
+            col = self._pos.get(link_id)
+            if col is None or col in self._masked_cols:
+                continue
+            self._masked_cols.add(col)
+            newly.append(link_id)
+            self._adjust_blockers(col, +1)
+        return tuple(newly)
+
+    def revert_link_mask(self, link_ids: Iterable[int]) -> Tuple[int, ...]:
+        """Unmask links (recovered in the current delta); returns the ids unmasked."""
+        reverted = []
+        for link_id in link_ids:
+            col = self._pos.get(link_id)
+            if col is None or col not in self._masked_cols:
+                continue
+            self._masked_cols.discard(col)
+            reverted.append(link_id)
+            self._adjust_blockers(col, -1)
+        return tuple(reverted)
+
+    def clear_link_mask(self) -> None:
+        """Drop the whole mask (all rows active again)."""
+        self._masked_cols.clear()
+        self._row_blockers = None
+
+    def _adjust_blockers(self, col: int, amount: int) -> None:
+        if self._row_blockers is None:
+            self._row_blockers = self.kernels.int_zeros(self._num_paths)
+        self.kernels.add_at(self._row_blockers, self.col_rows(col), amount)
+
+    @property
+    def masked_link_ids(self) -> Tuple[int, ...]:
+        """Currently masked links, sorted by id."""
+        ids = self._link_ids
+        return tuple(sorted(ids[c] for c in self._masked_cols))
+
+    def active_row_mask(self):
+        """Boolean vector: ``True`` for rows crossing no masked link."""
+        if self._row_blockers is None:
+            if self._backend is Backend.NUMPY:
+                return _np.ones(self._num_paths, dtype=bool)
+            return [True] * self._num_paths
+        if self._backend is Backend.NUMPY:
+            return self._row_blockers == 0
+        return [b == 0 for b in self._row_blockers]
+
+    def active_rows(self) -> List[int]:
+        """Sorted row indices of the paths untouched by the mask."""
+        if self._row_blockers is None:
+            return list(range(self._num_paths))
+        if self._backend is Backend.NUMPY:
+            return [int(r) for r in _np.flatnonzero(self._row_blockers == 0)]
+        return [r for r, b in enumerate(self._row_blockers) if b == 0]
+
+    @property
+    def num_active_rows(self) -> int:
+        if self._row_blockers is None:
+            return self._num_paths
+        if self._backend is Backend.NUMPY:
+            return int(_np.count_nonzero(self._row_blockers == 0))
+        return sum(1 for b in self._row_blockers if b == 0)
+
+    def active_coverage_counts(self):
+        """Per-column path counts over the *active* rows only.
+
+        On a mask-free index this equals :meth:`coverage_counts`.  With a mask
+        it equals the coverage histogram of a routing matrix rebuilt from
+        scratch on the post-delta topology -- the quantity incremental PMC
+        needs to judge coverability byte-identically to a cold rebuild.
+        """
+        if self._row_blockers is None:
+            return self.coverage_counts()
+        return self.masked_col_counts(self.active_row_mask())
 
     # ----------------------------------------------------------- components
     def components(

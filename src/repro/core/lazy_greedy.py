@@ -15,9 +15,10 @@ selector can decide whether the cached score is still trustworthy.
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Generic, Iterable, List, Optional, Tuple, TypeVar
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
 
-__all__ = ["LazyMinHeap", "BatchCELFHeap"]
+__all__ = ["LazyMinHeap", "BatchCELFHeap", "CELFSolutionCache"]
 
 T = TypeVar("T")
 
@@ -314,3 +315,51 @@ class BatchCELFHeap:
             heappush(heap, boundary_key)
 
         return selected
+
+
+class CELFSolutionCache:
+    """Memo of completed CELF runs, keyed by a digest of the subproblem inputs.
+
+    The incremental controller re-runs the lazy greedy after every churn
+    delta, but a CELF run is a pure function of its inputs: the candidate
+    rows, their link sets and the options.  Whenever a decomposition
+    subproblem survives a delta untouched (same links, same surviving rows),
+    its previous selection can be replayed verbatim instead of rebuilding the
+    heap -- that is the "reuse the previous selection, only re-run CELF on
+    rows the delta touched" half of the warm start.  Keys are caller-supplied
+    digests (the PMC layer hashes the packed row/link arrays), so entries
+    stay tiny even when a subproblem spans half a million candidate rows.
+
+    A bounded LRU: inserting beyond ``capacity`` evicts the least recently
+    used entry.  ``hits`` / ``misses`` feed the PMC stats.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[object]:
+        """The cached solution for *key*, or ``None`` (counts hit/miss)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, solution: object) -> None:
+        self._entries[key] = solution
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()

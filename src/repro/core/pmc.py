@@ -36,9 +36,10 @@ is unachievable (e.g. ``beta = 2`` in a 4-ary Fattree, §6.3).
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 try:  # only used by the numpy-backend batch scorer
     import numpy as _np
@@ -48,14 +49,21 @@ except ImportError:  # pragma: no cover - numpy backend is then unavailable
 from ..topology import PathOrbits, Topology
 from .decomposition import Subproblem, decompose_routing_matrix
 from .incidence import Backend, RefinablePartition
-from .lazy_greedy import BatchCELFHeap, LazyMinHeap
+from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap
 from .probe_matrix import ProbeMatrix
 from .virtual_links import ExtendedLinkSpace
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a routing<->core cycle
     from ..routing import RoutingMatrix
 
-__all__ = ["PMCOptions", "PMCStats", "PMCResult", "construct_probe_matrix", "pmc_for_topology"]
+__all__ = [
+    "PMCOptions",
+    "PMCStats",
+    "PMCResult",
+    "construct_probe_matrix",
+    "construct_probe_matrix_masked",
+    "pmc_for_topology",
+]
 
 
 @dataclass
@@ -124,6 +132,7 @@ class PMCStats:
     candidates_discarded: int = 0
     symmetry_batch_selections: int = 0
     subproblems: int = 1
+    reused_subproblems: int = 0
     elapsed_seconds: float = 0.0
     fully_refined: bool = False
     coverage_satisfied: bool = False
@@ -134,6 +143,7 @@ class PMCStats:
         self.candidates_scored += other.candidates_scored
         self.candidates_discarded += other.candidates_discarded
         self.symmetry_batch_selections += other.symmetry_batch_selections
+        self.reused_subproblems += other.reused_subproblems
         self.fully_refined = self.fully_refined and other.fully_refined
         self.coverage_satisfied = self.coverage_satisfied and other.coverage_satisfied
         self.uncoverable_links = tuple(
@@ -241,6 +251,154 @@ def pmc_for_topology(
 
 
 # ---------------------------------------------------------------------------
+# masked (incremental) construction
+# ---------------------------------------------------------------------------
+
+def _subproblem_digest(index, link_ids: Sequence[int], rows: Sequence[int], options: PMCOptions) -> bytes:
+    """Compact content digest of a decomposition subproblem.
+
+    Two subproblems with the same digest have the same link universe, the same
+    surviving candidate rows and the same solver options, hence the same CELF
+    selection -- the digest keys :class:`CELFSolutionCache` without retaining
+    multi-hundred-thousand-entry row tuples per cache slot.
+    """
+    hasher = hashlib.sha256()
+    if index.backend is Backend.NUMPY:
+        hasher.update(_np.asarray(link_ids, dtype=_np.int64).tobytes())
+        hasher.update(b"|")
+        hasher.update(_np.asarray(rows, dtype=_np.int64).tobytes())
+    else:
+        import array
+
+        hasher.update(array.array("q", link_ids).tobytes())
+        hasher.update(b"|")
+        hasher.update(array.array("q", rows).tobytes())
+    hasher.update(
+        f"|a{options.alpha}b{options.beta}z{int(options.skip_zero_gain)}"
+        f"l{int(options.use_lazy_update)}m{options.max_paths}".encode()
+    )
+    return hasher.digest()
+
+
+def construct_probe_matrix_masked(
+    routing_matrix: "RoutingMatrix",
+    options: Optional[PMCOptions] = None,
+    warm: Optional[CELFSolutionCache] = None,
+) -> PMCResult:
+    """PMC over the *active* rows of a link-masked routing matrix (warm-startable).
+
+    This is the incremental sibling of :func:`construct_probe_matrix`: instead
+    of rebuilding paths and incidence for the post-delta topology, the caller
+    masks the failed links on the cached
+    :class:`~repro.core.incidence.IncidenceIndex`
+    (:meth:`~repro.core.incidence.IncidenceIndex.apply_link_mask` /
+    :meth:`~repro.core.incidence.IncidenceIndex.revert_link_mask`) and this
+    function runs the greedy over the surviving rows.  The selection --
+    expressed as row indices into the *full* routing matrix -- is
+    byte-identical to what a cold :func:`construct_probe_matrix` over a
+    freshly built routing matrix containing only the surviving paths would
+    select, because every solver input matches:
+
+    * the decomposition is computed over the active rows only (masked columns
+      surface as path-less singleton components, exactly like fully-failed
+      links do in a cold rebuild),
+    * coverability is judged against :meth:`active_coverage_counts`, and
+    * the CELF heap is seeded with the active rows in ascending row order,
+      which is the same relative order a cold rebuild's re-densified rows
+      have.
+
+    ``warm`` is an optional :class:`CELFSolutionCache`: subproblems whose
+    digest (links, surviving rows, options) matches a previously solved one
+    replay the cached selection without touching a heap, so steady-state
+    cycles with little or no churn skip CELF almost entirely.
+
+    Symmetry batching is not supported here (orbit indices are only
+    meaningful on the matrix the orbits were computed for); callers that need
+    ``use_symmetry`` must take the full-rebuild path.
+    """
+    options = options or PMCOptions()
+    if options.use_symmetry:
+        raise ValueError(
+            "construct_probe_matrix_masked does not support use_symmetry; "
+            "fall back to a full rebuild for symmetry-enabled configurations"
+        )
+
+    start = time.perf_counter()
+    stats = PMCStats(fully_refined=True, coverage_satisfied=True)
+
+    index = routing_matrix.incidence
+    active = index.active_rows()
+    active_counts = index.active_coverage_counts()
+
+    if options.use_decomposition:
+        subproblems = [
+            Subproblem(link_ids=links, path_indices=rows)
+            for links, rows in index.components(rows=active)
+        ]
+    else:
+        subproblems = [
+            Subproblem(
+                link_ids=tuple(routing_matrix.link_ids),
+                path_indices=tuple(active),
+            )
+        ]
+    stats.subproblems = len(subproblems)
+
+    selected: List[int] = []
+    for subproblem in subproblems:
+        digest = None
+        if warm is not None:
+            digest = _subproblem_digest(
+                index, subproblem.link_ids, subproblem.path_indices, options
+            )
+            cached = warm.get(digest)
+            if cached is not None:
+                sub_selected, sub_stats = cached
+                sub_stats = PMCStats(**sub_stats)
+                sub_stats.reused_subproblems = 1
+                # Replayed selections cost no scoring work this cycle.
+                sub_stats.iterations = 0
+                sub_stats.candidates_scored = 0
+                sub_stats.candidates_discarded = 0
+                selected.extend(sub_selected)
+                stats.merge(sub_stats)
+                if options.max_paths is not None and len(selected) >= options.max_paths:
+                    selected = selected[: options.max_paths]
+                    break
+                continue
+        sub_selected, sub_stats = _solve_subproblem(
+            routing_matrix, subproblem, options, orbits=None, coverage_counts=active_counts
+        )
+        if warm is not None:
+            warm.put(
+                digest,
+                (
+                    tuple(sub_selected),
+                    dict(
+                        fully_refined=sub_stats.fully_refined,
+                        coverage_satisfied=sub_stats.coverage_satisfied,
+                        uncoverable_links=sub_stats.uncoverable_links,
+                    ),
+                ),
+            )
+        selected.extend(sub_selected)
+        stats.merge(sub_stats)
+        if options.max_paths is not None and len(selected) >= options.max_paths:
+            selected = selected[: options.max_paths]
+            break
+
+    stats.elapsed_seconds = time.perf_counter() - start
+    selected_tuple = tuple(selected)
+    probe_matrix = ProbeMatrix.from_selection(routing_matrix, selected_tuple)
+    return PMCResult(
+        probe_matrix=probe_matrix,
+        selected_indices=selected_tuple,
+        options=options,
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
 # subproblem solver
 # ---------------------------------------------------------------------------
 
@@ -249,6 +407,7 @@ def _solve_subproblem(
     subproblem: Subproblem,
     options: PMCOptions,
     orbits: Optional[PathOrbits],
+    coverage_counts=None,
 ) -> Tuple[List[int], PMCStats]:
     stats = PMCStats()
     link_ids = sorted(subproblem.link_ids)
@@ -296,8 +455,11 @@ def _solve_subproblem(
 
     # "Coverable" is judged against the full candidate set, exactly like the
     # seed implementation (a link with zero candidate paths anywhere can never
-    # be covered, even if this subproblem has paths).
-    global_counts = index.coverage_counts()
+    # be covered, even if this subproblem has paths).  Masked (incremental)
+    # runs pass the active-row counts explicitly so coverability is judged
+    # against the surviving candidates only -- the same vector a from-scratch
+    # rebuild on the post-delta topology would compute.
+    global_counts = coverage_counts if coverage_counts is not None else index.coverage_counts()
     coverable_locals = [
         local for local, link in enumerate(link_ids) if global_counts[index.position(link)]
     ]

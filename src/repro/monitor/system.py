@@ -8,6 +8,10 @@ responders, diagnoser) around the probing simulator.  One call to
 * every pinger probes its paths against the injected failure scenario,
 * the diagnoser merges the reports, runs PLL and produces alerts.
 
+Controller cycles come in two modes (see
+:meth:`DetectorSystem.run_controller_cycle`): the paper's full rebuild and
+the churn-aware incremental cycle that consumes watchdog deltas.
+
 Experiments evaluate the alerts against the scenario's ground truth with
 :func:`repro.localization.evaluate_localization`.
 """
@@ -71,9 +75,31 @@ class DetectorSystem:
         )
 
     # ------------------------------------------------------------------ cycle
-    def run_controller_cycle(self) -> ControllerCycle:
-        """Recompute the probe matrix and pinglists (the 10-minute cycle)."""
-        self.cycle = self.controller.run_cycle()
+    def run_controller_cycle(self, incremental: bool = False) -> ControllerCycle:
+        """Recompute the probe matrix and pinglists (the 10-minute cycle).
+
+        Two modes mirror the controller's two cycle flavours:
+
+        * ``incremental=False`` (default) -- the paper's behaviour: a **full
+          rebuild**.  Candidate paths are filtered against the watchdog's
+          current health state, PMC runs from scratch and every pinglist is
+          regenerated.
+        * ``incremental=True`` -- the **churn-aware** cycle: the controller
+          diffs the watchdog's health snapshot against the one it last
+          planned with, masks the delta's links on its cached incidence
+          index and warm-starts PMC, falling back to a full rebuild when
+          churn exceeds ``ControllerConfig.churn_rebuild_threshold`` (the
+          produced cycle's ``mode`` field records which path ran).  Results
+          are byte-identical to a full rebuild on the same health state.
+
+        Either way the diagnoser is re-armed with the new probe matrix and
+        responders are refreshed, so the next :meth:`run_window` probes with
+        the new cycle's pinglists.
+        """
+        if incremental:
+            self.cycle = self.controller.run_incremental_cycle()
+        else:
+            self.cycle = self.controller.run_cycle()
         self.diagnoser = Diagnoser(
             self.topology,
             self.cycle.probe_matrix,
@@ -86,6 +112,9 @@ class DetectorSystem:
             for server in self.topology.servers
         }
         return self.cycle
+
+    # Alias matching the controller-side naming; same modes, same semantics.
+    run_cycle = run_controller_cycle
 
     @property
     def probe_matrix(self) -> ProbeMatrix:

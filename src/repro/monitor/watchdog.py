@@ -4,6 +4,23 @@ The controller consults the watchdog before every path-computation cycle so
 that probe paths avoid links and switches already known to be down, and the
 diagnoser uses it to discard observations from unhealthy pingers/responders
 (pre-processing outlier removal, §5.1).
+
+**How deltas are emitted and consumed.**  The watchdog is the single source
+of truth for device health; churn reaches it through the ``mark_*`` /
+``report_*`` methods (or wholesale through :meth:`apply_delta`, which is how
+:class:`~repro.simulation.failures.ChurnSchedule` drives it).  It does not
+push notifications.  Instead it *emits* immutable
+:class:`~repro.topology.HealthSnapshot` values on demand via
+:meth:`snapshot`; the incremental controller remembers the snapshot it last
+planned against and diffs it against the current one
+(:meth:`~repro.topology.TopologyDelta.between`) at the start of every cycle.
+That pull model keeps the watchdog free of consumer bookkeeping and lets any
+number of consumers (controller, diagnoser, experiments) derive their own
+deltas from the same health state.
+
+All link ids refer to the original topology; the watchdog never re-densifies
+ids, which is what lets consumers translate deltas directly into incidence
+link masks.
 """
 
 from __future__ import annotations
@@ -11,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
-from ..topology import Topology
+from ..topology import HealthSnapshot, Topology, TopologyDelta
 
 __all__ = ["Watchdog"]
 
@@ -22,7 +39,10 @@ class Watchdog:
 
     The real service polls management agents; in this reproduction health is
     set explicitly by experiments (e.g. "server X was rebooting during this
-    window") and consumed by the controller and the diagnoser.
+    window") or driven from a synthetic
+    :class:`~repro.simulation.failures.ChurnSchedule`, and consumed by the
+    controller and the diagnoser.  See the module docstring for the
+    snapshot/delta contract incremental cycles build on.
     """
 
     topology: Topology
@@ -54,20 +74,72 @@ class Watchdog:
         self.topology.node(switch_name)  # validate
         self.failed_switches.add(switch_name)
 
+    def report_switch_recovered(self, switch_name: str) -> None:
+        self.failed_switches.discard(switch_name)
+
     def report_failed_link(self, link_id: int) -> None:
         self.topology.link(link_id)  # validate
         self.failed_link_ids.add(link_id)
+
+    def report_link_recovered(self, link_id: int) -> None:
+        self.failed_link_ids.discard(link_id)
 
     def clear_network_failures(self) -> None:
         self.failed_switches.clear()
         self.failed_link_ids.clear()
 
-    def probe_topology(self) -> Topology:
-        """The topology the controller should plan probe paths on.
+    # -------------------------------------------------------- snapshots/deltas
+    def snapshot(self) -> HealthSnapshot:
+        """Immutable view of the current health state.
 
-        Known-bad links and switches are removed so that no probe path is
-        planned across them (§6.1, footnote 4).  Symmetry information is
-        always computed on the original topology, exactly as the paper notes.
+        Consumers keep the snapshot they last acted on and diff it against a
+        fresh one (``TopologyDelta.between(last, watchdog.snapshot())``) to
+        learn what changed -- the emit half of the delta contract.
+        """
+        return HealthSnapshot(
+            failed_link_ids=frozenset(self.failed_link_ids),
+            failed_switches=frozenset(self.failed_switches),
+            unhealthy_servers=frozenset(self.unhealthy_servers),
+        )
+
+    def apply_delta(self, delta: TopologyDelta) -> None:
+        """Apply a churn delta (e.g. one ``ChurnSchedule`` cycle) to the state."""
+        for link_id in delta.failed_links:
+            self.report_failed_link(link_id)
+        for link_id in delta.recovered_links:
+            self.report_link_recovered(link_id)
+        for switch in delta.failed_switches:
+            self.report_failed_switch(switch)
+        for switch in delta.recovered_switches:
+            self.report_switch_recovered(switch)
+        for server in delta.failed_servers:
+            self.mark_server_unhealthy(server)
+        for server in delta.recovered_servers:
+            self.mark_server_healthy(server)
+
+    def failed_probe_link_ids(self) -> Set[int]:
+        """Every link probe planning must avoid, as original-topology ids.
+
+        The union of explicitly failed links and all links incident to failed
+        switches -- the set the controller filters candidate paths with (cold
+        rebuild) or masks on the cached incidence index (incremental cycle).
+        """
+        failed = set(self.failed_link_ids)
+        for switch in self.failed_switches:
+            failed.update(link.link_id for link in self.topology.links_of(switch))
+        return failed
+
+    def probe_topology(self) -> Topology:
+        """The post-failure topology, with known-bad links and switches removed.
+
+        Kept as a standalone view for tools that want a concrete filtered
+        graph (visualisation, connectivity checks).  Probe planning itself no
+        longer builds this: ``without_node``/``without_links`` re-densify link
+        ids and lose the concrete topology subclass, so the controller instead
+        filters the pristine topology's candidate paths through
+        :meth:`failed_probe_link_ids` (§6.1, footnote 4 -- no probe path is
+        planned across a known-bad element).  Symmetry information is always
+        computed on the original topology, exactly as the paper notes.
         """
         topology = self.topology
         for switch in self.failed_switches:

@@ -1,6 +1,7 @@
 """Simulation substrate: failure injection, packet-level probing, workload and latency models."""
 
 from .failures import (
+    ChurnSchedule,
     FailureGenerator,
     FailureGeneratorConfig,
     FailureScenario,
@@ -18,6 +19,7 @@ __all__ = [
     "FailureScenario",
     "FailureGenerator",
     "FailureGeneratorConfig",
+    "ChurnSchedule",
     "ProbeConfig",
     "ProbeSimulator",
     "PairProbeOutcome",

@@ -21,11 +21,11 @@ from __future__ import annotations
 import zlib
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..topology import Tier, Topology
+from ..topology import HealthSnapshot, Tier, Topology, TopologyDelta
 
 __all__ = [
     "LossMode",
@@ -33,6 +33,7 @@ __all__ = [
     "FailureScenario",
     "FailureGeneratorConfig",
     "FailureGenerator",
+    "ChurnSchedule",
 ]
 
 
@@ -323,3 +324,121 @@ class FailureGenerator:
     def generate_single(self) -> FailureScenario:
         """One random failure, the per-minute scenario of the testbed runs (§6.3)."""
         return self.generate(1)
+
+
+class ChurnSchedule:
+    """A deterministic sequence of per-cycle :class:`TopologyDelta` events.
+
+    Models the steady-state churn of a large data center: between two
+    controller cycles a handful of links (occasionally a switch or a server)
+    go down while some previously failed elements recover.  Each delta in the
+    schedule describes exactly one cycle's worth of churn, ready to be fed to
+    ``Watchdog.apply_delta`` before ``Controller.run_incremental_cycle``
+    consumes it.
+
+    The schedule is a pure function of the generator ``rng``, so benchmarks
+    and the incremental-vs-cold differential tests can replay identical churn
+    across runs and backends.
+    """
+
+    def __init__(self, deltas: Sequence[TopologyDelta]):
+        self._deltas: Tuple[TopologyDelta, ...] = tuple(deltas)
+
+    def __len__(self) -> int:
+        return len(self._deltas)
+
+    def __iter__(self) -> Iterator[TopologyDelta]:
+        return iter(self._deltas)
+
+    def __getitem__(self, index: int) -> TopologyDelta:
+        return self._deltas[index]
+
+    @property
+    def deltas(self) -> Tuple[TopologyDelta, ...]:
+        return self._deltas
+
+    @property
+    def total_churn(self) -> int:
+        return sum(delta.churn for delta in self._deltas)
+
+    @property
+    def max_churn(self) -> int:
+        return max((delta.churn for delta in self._deltas), default=0)
+
+    # ------------------------------------------------------------- generation
+    @classmethod
+    def generate(
+        cls,
+        topology: Topology,
+        rng: np.random.Generator,
+        num_cycles: int,
+        mean_events_per_cycle: float = 2.0,
+        recovery_probability: float = 0.4,
+        switch_probability: float = 0.05,
+        server_probability: float = 0.1,
+        max_failed_links: Optional[int] = None,
+    ) -> "ChurnSchedule":
+        """Draw a churn schedule over *num_cycles* controller cycles.
+
+        Parameters
+        ----------
+        mean_events_per_cycle:
+            Poisson mean of churn events per cycle (paper setting: "a
+            handful" -- keep this small relative to the fabric size).
+        recovery_probability:
+            Per-event probability that the event is a recovery of a currently
+            failed element rather than a new failure (given one exists).
+        switch_probability / server_probability:
+            Per-event probability that the event hits a whole switch / a
+            server instead of an individual link.
+        max_failed_links:
+            Optional cap on concurrently failed links; once reached, link
+            events become recoveries.
+        """
+        if num_cycles < 0:
+            raise ValueError("num_cycles must be non-negative")
+        if mean_events_per_cycle < 0:
+            raise ValueError("mean_events_per_cycle must be non-negative")
+        link_ids = [link.link_id for link in topology.switch_links]
+        switch_names = [node.name for node in topology.switches]
+        server_names = [node.name for node in topology.servers]
+
+        failed_links: set = set()
+        failed_switches: set = set()
+        unhealthy_servers: set = set()
+
+        def pick(candidates: List) -> object:
+            return candidates[int(rng.integers(0, len(candidates)))]
+
+        def snapshot() -> HealthSnapshot:
+            return HealthSnapshot(
+                failed_link_ids=frozenset(failed_links),
+                failed_switches=frozenset(failed_switches),
+                unhealthy_servers=frozenset(unhealthy_servers),
+            )
+
+        deltas: List[TopologyDelta] = []
+        for _ in range(num_cycles):
+            before = snapshot()
+            for _ in range(int(rng.poisson(mean_events_per_cycle))):
+                kind = rng.random()
+                if server_names and kind < server_probability:
+                    down, pool = unhealthy_servers, server_names
+                elif switch_names and kind < server_probability + switch_probability:
+                    down, pool = failed_switches, switch_names
+                else:
+                    down, pool = failed_links, link_ids
+                at_cap = (
+                    down is failed_links
+                    and max_failed_links is not None
+                    and len(failed_links) >= max_failed_links
+                )
+                recover = down and (at_cap or rng.random() < recovery_probability)
+                if recover:
+                    down.discard(pick(sorted(down)))
+                else:
+                    healthy = [c for c in pool if c not in down]
+                    if healthy:
+                        down.add(pick(healthy))
+            deltas.append(TopologyDelta.between(before, snapshot()))
+        return cls(deltas)

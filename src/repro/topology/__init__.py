@@ -2,6 +2,7 @@
 
 from .base import Link, Node, Tier, Topology, TopologyBuilder, TopologyError
 from .bcube import BCubeTopology, bcube_counts, build_bcube
+from .delta import HealthSnapshot, TopologyDelta
 from .fattree import FatTreeTopology, build_fattree, fattree_counts
 from .symmetry import PathOrbits, link_orbits, link_role, node_role, path_signature
 from .vl2 import VL2Topology, build_vl2, vl2_counts
@@ -13,6 +14,8 @@ __all__ = [
     "Topology",
     "TopologyBuilder",
     "TopologyError",
+    "HealthSnapshot",
+    "TopologyDelta",
     "FatTreeTopology",
     "build_fattree",
     "fattree_counts",

@@ -1,0 +1,136 @@
+"""Topology churn model: health snapshots and deltas between controller cycles.
+
+The paper's controller recomputes the probe matrix from scratch every cycle
+(10 minutes, §3.1).  In the motivating setting -- a data center with O(10^4)
+links -- only a handful of devices change state between two cycles, so the
+serving path can be made incremental: the watchdog keeps a
+:class:`HealthSnapshot` of what is currently failed, and two snapshots
+diff into a :class:`TopologyDelta` describing exactly which links, switches
+and servers went down or recovered in between.
+
+The delta is the unit of communication between the three incremental layers:
+
+* the watchdog *emits* snapshots (``Watchdog.snapshot()``),
+* ``Controller.run_incremental_cycle`` *consumes* the delta between the last
+  applied snapshot and the current one, translating it into link-mask
+  updates on the cached :class:`~repro.core.incidence.IncidenceIndex`, and
+* ``ChurnSchedule`` (``simulation/failures.py``) *generates* synthetic delta
+  sequences for benchmarks and differential tests.
+
+Link ids always refer to the **original** (pristine) topology; deltas never
+re-densify ids, which is what allows masks to be applied and reverted without
+re-ingesting paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Tuple
+
+__all__ = ["HealthSnapshot", "TopologyDelta"]
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """Immutable record of everything currently failed / unhealthy.
+
+    Attributes
+    ----------
+    failed_link_ids:
+        Links the watchdog knows to be down (original topology ids).
+    failed_switches:
+        Switches known to be down; all their incident links are treated as
+        failed for probe planning.
+    unhealthy_servers:
+        Servers that must not be used as pingers or responders.
+    """
+
+    failed_link_ids: FrozenSet[int] = frozenset()
+    failed_switches: FrozenSet[str] = frozenset()
+    unhealthy_servers: FrozenSet[str] = frozenset()
+
+    @property
+    def is_pristine(self) -> bool:
+        return not (self.failed_link_ids or self.failed_switches or self.unhealthy_servers)
+
+
+@dataclass(frozen=True)
+class TopologyDelta:
+    """What changed between two :class:`HealthSnapshot`\\ s.
+
+    ``failed_*`` lists elements that went down since the previous snapshot;
+    ``recovered_*`` lists elements that came back.  All tuples are sorted so
+    deltas compare and repr deterministically.
+    """
+
+    failed_links: Tuple[int, ...] = ()
+    recovered_links: Tuple[int, ...] = ()
+    failed_switches: Tuple[str, ...] = ()
+    recovered_switches: Tuple[str, ...] = ()
+    failed_servers: Tuple[str, ...] = ()
+    recovered_servers: Tuple[str, ...] = ()
+
+    @classmethod
+    def between(cls, before: HealthSnapshot, after: HealthSnapshot) -> "TopologyDelta":
+        """The delta that turns snapshot *before* into snapshot *after*."""
+        return cls(
+            failed_links=tuple(sorted(after.failed_link_ids - before.failed_link_ids)),
+            recovered_links=tuple(sorted(before.failed_link_ids - after.failed_link_ids)),
+            failed_switches=tuple(sorted(after.failed_switches - before.failed_switches)),
+            recovered_switches=tuple(sorted(before.failed_switches - after.failed_switches)),
+            failed_servers=tuple(sorted(after.unhealthy_servers - before.unhealthy_servers)),
+            recovered_servers=tuple(sorted(before.unhealthy_servers - after.unhealthy_servers)),
+        )
+
+    @classmethod
+    def of_failures(
+        cls,
+        links: Iterable[int] = (),
+        switches: Iterable[str] = (),
+        servers: Iterable[str] = (),
+    ) -> "TopologyDelta":
+        """Convenience constructor for pure-failure deltas (tests, schedules)."""
+        return cls(
+            failed_links=tuple(sorted(links)),
+            failed_switches=tuple(sorted(switches)),
+            failed_servers=tuple(sorted(servers)),
+        )
+
+    # ----------------------------------------------------------------- queries
+    @property
+    def churn(self) -> int:
+        """Number of changed *network* elements (links + switches).
+
+        Server health changes are excluded: they move pinger/responder
+        placement, which every cycle recomputes anyway, but they never
+        invalidate the probe matrix, so they do not count against the
+        full-rebuild threshold.
+        """
+        return (
+            len(self.failed_links)
+            + len(self.recovered_links)
+            + len(self.failed_switches)
+            + len(self.recovered_switches)
+        )
+
+    @property
+    def server_churn(self) -> int:
+        return len(self.failed_servers) + len(self.recovered_servers)
+
+    @property
+    def is_empty(self) -> bool:
+        return self.churn == 0 and self.server_churn == 0
+
+    def describe(self) -> str:
+        parts = []
+        for label, values in (
+            ("links down", self.failed_links),
+            ("links up", self.recovered_links),
+            ("switches down", self.failed_switches),
+            ("switches up", self.recovered_switches),
+            ("servers down", self.failed_servers),
+            ("servers up", self.recovered_servers),
+        ):
+            if values:
+                parts.append(f"{label}: {', '.join(str(v) for v in values)}")
+        return "; ".join(parts) if parts else "no changes"

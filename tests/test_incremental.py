@@ -1,0 +1,395 @@
+"""Incremental churn-aware cycles: masking, deltas, warm start and equivalence.
+
+The contract under test: a ``Controller.run_incremental_cycle`` after any
+sequence of churn deltas produces a probe matrix, a selection and pinglists
+**byte-identical** to a cold ``Controller.run_cycle`` executed from scratch
+against the same watchdog health state.  The property-style test at the
+bottom drives that differential with random :class:`ChurnSchedule` sequences
+on Fattree, VL2 and BCube.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CELFSolutionCache,
+    PMCOptions,
+    construct_probe_matrix,
+    construct_probe_matrix_masked,
+)
+from repro.core.incidence import Backend, IncidenceIndex
+from repro.monitor import Controller, ControllerConfig, DetectorSystem, Watchdog
+from repro.routing import RoutingMatrix, enumerate_candidate_paths
+from repro.simulation import ChurnSchedule
+from repro.topology import HealthSnapshot, TopologyDelta, build_bcube, build_fattree, build_vl2
+
+BACKENDS = [Backend.PYTHON, Backend.NUMPY]
+
+
+# ---------------------------------------------------------------------------
+# IncidenceIndex link masks
+# ---------------------------------------------------------------------------
+
+class TestLinkMasking:
+    PATHS = [frozenset({0, 1}), frozenset({1, 2}), frozenset({2, 3}), frozenset({3, 4})]
+    UNIVERSE = (0, 1, 2, 3, 4)
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=[b.value for b in BACKENDS])
+    def test_apply_and_revert_round_trip(self, backend):
+        index = IncidenceIndex(self.PATHS, self.UNIVERSE, backend=backend)
+        assert index.active_rows() == [0, 1, 2, 3]
+        assert index.num_active_rows == 4
+
+        assert index.apply_link_mask([2]) == (2,)
+        assert index.masked_link_ids == (2,)
+        # Paths 1 and 2 cross link 2 and become inactive.
+        assert index.active_rows() == [0, 3]
+        assert index.num_active_rows == 2
+
+        # Applying again is a no-op; out-of-universe ids are ignored.
+        assert index.apply_link_mask([2, 99]) == ()
+        assert index.active_rows() == [0, 3]
+
+        assert index.revert_link_mask([2, 99]) == (2,)
+        assert index.masked_link_ids == ()
+        assert index.active_rows() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=[b.value for b in BACKENDS])
+    def test_overlapping_masks_stack(self, backend):
+        index = IncidenceIndex(self.PATHS, self.UNIVERSE, backend=backend)
+        index.apply_link_mask([1])
+        index.apply_link_mask([2])
+        # Path 1 crosses both masked links; one revert must not reactivate it.
+        assert index.active_rows() == [3]
+        index.revert_link_mask([2])
+        assert index.active_rows() == [2, 3]
+        index.revert_link_mask([1])
+        assert index.active_rows() == [0, 1, 2, 3]
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=[b.value for b in BACKENDS])
+    def test_active_coverage_counts_match_rebuild(self, backend):
+        index = IncidenceIndex(self.PATHS, self.UNIVERSE, backend=backend)
+        index.apply_link_mask([0])
+        surviving = [p for p in self.PATHS if 0 not in p]
+        rebuilt = IncidenceIndex(surviving, self.UNIVERSE, backend=backend)
+        assert list(index.active_coverage_counts()) == list(rebuilt.coverage_counts())
+
+    @pytest.mark.parametrize("backend", BACKENDS, ids=[b.value for b in BACKENDS])
+    def test_clear_link_mask(self, backend):
+        index = IncidenceIndex(self.PATHS, self.UNIVERSE, backend=backend)
+        index.apply_link_mask([1, 3])
+        index.clear_link_mask()
+        assert index.masked_link_ids == ()
+        assert index.active_rows() == [0, 1, 2, 3]
+        assert list(index.active_coverage_counts()) == list(index.coverage_counts())
+
+
+# ---------------------------------------------------------------------------
+# snapshots and deltas
+# ---------------------------------------------------------------------------
+
+class TestTopologyDelta:
+    def test_between_snapshots(self):
+        before = HealthSnapshot(
+            failed_link_ids=frozenset({1, 2}),
+            failed_switches=frozenset({"s1"}),
+            unhealthy_servers=frozenset({"srv1"}),
+        )
+        after = HealthSnapshot(
+            failed_link_ids=frozenset({2, 5}),
+            failed_switches=frozenset(),
+            unhealthy_servers=frozenset({"srv1", "srv2"}),
+        )
+        delta = TopologyDelta.between(before, after)
+        assert delta.failed_links == (5,)
+        assert delta.recovered_links == (1,)
+        assert delta.recovered_switches == ("s1",)
+        assert delta.failed_servers == ("srv2",)
+        assert delta.churn == 3  # link down + link up + switch up; servers excluded
+        assert delta.server_churn == 1
+        assert not delta.is_empty
+
+    def test_empty_delta(self):
+        snap = HealthSnapshot()
+        delta = TopologyDelta.between(snap, snap)
+        assert delta.is_empty
+        assert delta.describe() == "no changes"
+
+    def test_watchdog_emits_and_consumes(self, fattree4):
+        watchdog = Watchdog(fattree4)
+        before = watchdog.snapshot()
+        link = fattree4.switch_links[0].link_id
+        watchdog.report_failed_link(link)
+        watchdog.report_failed_switch("pod0_agg0")
+        delta = TopologyDelta.between(before, watchdog.snapshot())
+        assert delta.failed_links == (link,)
+        assert delta.failed_switches == ("pod0_agg0",)
+
+        # Applying the delta to a fresh watchdog reproduces the state.
+        other = Watchdog(fattree4)
+        other.apply_delta(delta)
+        assert other.snapshot() == watchdog.snapshot()
+
+        # Recovery deltas roll it back.
+        other.apply_delta(
+            TopologyDelta(recovered_links=(link,), recovered_switches=("pod0_agg0",))
+        )
+        assert other.snapshot() == before
+
+    def test_failed_probe_link_ids_include_switch_links(self, fattree4):
+        watchdog = Watchdog(fattree4)
+        watchdog.report_failed_switch("pod0_agg0")
+        expected = {l.link_id for l in fattree4.links_of("pod0_agg0")}
+        assert watchdog.failed_probe_link_ids() == expected
+
+
+class TestChurnSchedule:
+    def test_deterministic_given_seed(self, fattree4):
+        first = ChurnSchedule.generate(fattree4, np.random.default_rng(7), num_cycles=10)
+        second = ChurnSchedule.generate(fattree4, np.random.default_rng(7), num_cycles=10)
+        assert first.deltas == second.deltas
+        assert len(first) == 10
+
+    def test_deltas_are_consistent_with_state(self, fattree4):
+        """Replaying the schedule through a watchdog never double-fails/-recovers."""
+        schedule = ChurnSchedule.generate(
+            fattree4, np.random.default_rng(3), num_cycles=20, mean_events_per_cycle=3.0
+        )
+        watchdog = Watchdog(fattree4)
+        for delta in schedule:
+            before = watchdog.snapshot()
+            # Every reported failure must be new, every recovery must exist.
+            assert not (set(delta.failed_links) & before.failed_link_ids)
+            assert set(delta.recovered_links) <= before.failed_link_ids
+            assert not (set(delta.failed_switches) & before.failed_switches)
+            assert set(delta.recovered_switches) <= before.failed_switches
+            watchdog.apply_delta(delta)
+
+    def test_max_failed_links_cap(self, fattree4):
+        schedule = ChurnSchedule.generate(
+            fattree4,
+            np.random.default_rng(11),
+            num_cycles=30,
+            mean_events_per_cycle=4.0,
+            switch_probability=0.0,
+            server_probability=0.0,
+            max_failed_links=3,
+        )
+        failed: set = set()
+        for delta in schedule:
+            failed |= set(delta.failed_links)
+            failed -= set(delta.recovered_links)
+            assert len(failed) <= 3
+
+
+# ---------------------------------------------------------------------------
+# masked PMC vs cold PMC
+# ---------------------------------------------------------------------------
+
+def _cold_selection_paths(topology, paths, failed, options):
+    surviving = [p for p in paths if not (p.link_ids & failed)]
+    matrix = RoutingMatrix(topology, surviving)
+    result = construct_probe_matrix(matrix, options)
+    return [surviving[i] for i in result.selected_indices], result
+
+
+class TestMaskedPMC:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            PMCOptions(alpha=2, beta=1),
+            PMCOptions(alpha=1, beta=0),
+            PMCOptions(alpha=2, beta=1, use_lazy_update=False),
+            PMCOptions(alpha=2, beta=1, use_decomposition=False),
+            PMCOptions(alpha=1, beta=2),
+        ],
+        ids=["a2b1", "a1b0", "eager", "no-decomp", "beta2"],
+    )
+    def test_masked_equals_cold(self, fattree4, options):
+        paths = enumerate_candidate_paths(fattree4, ordered=False)
+        full = RoutingMatrix(fattree4, paths)
+        failed = {fattree4.switch_links[5].link_id, fattree4.switch_links[17].link_id}
+
+        full.incidence.apply_link_mask(failed)
+        masked = construct_probe_matrix_masked(full, options)
+        masked_paths = [paths[i] for i in masked.selected_indices]
+        full.incidence.clear_link_mask()
+
+        cold_paths, cold = _cold_selection_paths(fattree4, paths, failed, options)
+        assert [p.nodes for p in masked_paths] == [p.nodes for p in cold_paths]
+        assert masked.probe_matrix.to_json() == cold.probe_matrix.to_json()
+        assert masked.stats.uncoverable_links == cold.stats.uncoverable_links
+        assert masked.stats.coverage_satisfied == cold.stats.coverage_satisfied
+        assert masked.stats.fully_refined == cold.stats.fully_refined
+
+    def test_symmetry_rejected(self, fattree4_routing):
+        with pytest.raises(ValueError):
+            construct_probe_matrix_masked(
+                fattree4_routing, PMCOptions(alpha=1, beta=1, use_symmetry=True)
+            )
+
+    def test_warm_cache_replays_identical_selection(self, fattree4):
+        paths = enumerate_candidate_paths(fattree4, ordered=False)
+        full = RoutingMatrix(fattree4, paths)
+        options = PMCOptions(alpha=2, beta=1)
+        warm = CELFSolutionCache()
+
+        first = construct_probe_matrix_masked(full, options, warm=warm)
+        assert first.stats.reused_subproblems == 0
+        second = construct_probe_matrix_masked(full, options, warm=warm)
+        assert second.stats.reused_subproblems == second.stats.subproblems
+        assert second.stats.candidates_scored == 0
+        assert second.selected_indices == first.selected_indices
+        assert warm.hits > 0
+
+    def test_warm_cache_lru_eviction(self):
+        cache = CELFSolutionCache(capacity=2)
+        cache.put(b"a", 1)
+        cache.put(b"b", 2)
+        assert cache.get(b"a") == 1  # refresh a
+        cache.put(b"c", 3)  # evicts b
+        assert cache.get(b"b") is None
+        assert cache.get(b"a") == 1 and cache.get(b"c") == 3
+
+
+# ---------------------------------------------------------------------------
+# controller cycles
+# ---------------------------------------------------------------------------
+
+def _clone_watchdog(topology, watchdog):
+    return Watchdog(
+        topology,
+        unhealthy_servers=set(watchdog.unhealthy_servers),
+        failed_switches=set(watchdog.failed_switches),
+        failed_link_ids=set(watchdog.failed_link_ids),
+    )
+
+
+def _assert_cycles_identical(incremental_cycle, cold_cycle):
+    assert (
+        incremental_cycle.probe_matrix.to_json() == cold_cycle.probe_matrix.to_json()
+    ), "probe matrices diverged"
+    assert [p.nodes for p in incremental_cycle.probe_matrix.paths] == [
+        p.nodes for p in cold_cycle.probe_matrix.paths
+    ], "selections diverged"
+    assert set(incremental_cycle.pinglists) == set(cold_cycle.pinglists)
+    for server, pinglist in incremental_cycle.pinglists.items():
+        assert pinglist.to_xml() == cold_cycle.pinglists[server].to_xml(), (
+            f"pinglist for {server} diverged"
+        )
+
+
+class TestIncrementalController:
+    def test_first_incremental_cycle_is_full(self, fattree4):
+        controller = Controller(fattree4, ControllerConfig(alpha=2, beta=1))
+        cycle = controller.run_incremental_cycle()
+        assert cycle.mode == "full"
+        assert cycle.delta is None
+
+    def test_churn_above_threshold_triggers_full_rebuild(self, fattree4):
+        config = ControllerConfig(alpha=2, beta=1, churn_rebuild_threshold=2)
+        controller = Controller(fattree4, config)
+        controller.run_incremental_cycle()
+        for link in fattree4.switch_links[:3]:
+            controller.watchdog.report_failed_link(link.link_id)
+        cycle = controller.run_incremental_cycle()
+        assert cycle.mode == "full"
+        assert cycle.delta is not None and cycle.delta.churn == 3
+
+    def test_symmetry_always_full_rebuild(self, fattree4):
+        config = ControllerConfig(alpha=1, beta=1, use_symmetry=True)
+        controller = Controller(fattree4, config)
+        controller.run_incremental_cycle()
+        cycle = controller.run_incremental_cycle()
+        assert cycle.mode == "full"
+
+    def test_zero_churn_cycle_replays_everything(self, fattree4):
+        controller = Controller(fattree4, ControllerConfig(alpha=2, beta=1))
+        controller.run_incremental_cycle()
+        warmup = controller.run_incremental_cycle()  # seeds the warm cache
+        steady = controller.run_incremental_cycle()
+        assert steady.mode == "incremental"
+        stats = steady.pmc_result.stats
+        assert stats.reused_subproblems == stats.subproblems
+        assert stats.candidates_scored == 0
+        assert steady.changed_pingers == ()  # nothing to re-push to the pingers
+        assert steady.probe_matrix.to_json() == warmup.probe_matrix.to_json()
+
+    def test_changed_pingers_tracks_delta_blast_radius(self, fattree4):
+        controller = Controller(fattree4, ControllerConfig(alpha=2, beta=1))
+        controller.run_incremental_cycle()
+        controller.run_incremental_cycle()
+        bad = fattree4.switch_links[7].link_id
+        controller.watchdog.report_failed_link(bad)
+        cycle = controller.run_incremental_cycle()
+        assert cycle.mode == "incremental"
+        assert cycle.changed_pingers  # the masked link moved some assignments
+        assert set(cycle.changed_pingers) <= set(cycle.pinglists)
+
+    def test_detector_system_incremental_mode(self, fattree4):
+        system = DetectorSystem(fattree4, np.random.default_rng(5))
+        first = system.run_controller_cycle(incremental=True)
+        assert first.mode == "full"
+        second = system.run_cycle(incremental=True)  # alias, same semantics
+        assert second.mode == "incremental"
+        assert system.diagnoser is not None
+        outcome = system.run_window()
+        assert outcome.suspected_links == []
+
+
+# ---------------------------------------------------------------------------
+# the headline property: incremental == cold rebuild, under random churn
+# ---------------------------------------------------------------------------
+
+class TestIncrementalColdEquivalence:
+    """Property-style differential test of the tentpole guarantee."""
+
+    TOPOLOGY_BUILDERS = {
+        "fattree4": lambda: build_fattree(4),
+        "vl2": lambda: build_vl2(4, 4, 2),
+        "bcube41": lambda: build_bcube(4, 1),
+    }
+
+    @pytest.mark.parametrize("name", list(TOPOLOGY_BUILDERS))
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_random_churn_equivalence(self, name, seed):
+        topology = self.TOPOLOGY_BUILDERS[name]()
+        config = ControllerConfig(alpha=2, beta=1, churn_rebuild_threshold=6)
+        watchdog = Watchdog(topology)
+        incremental = Controller(topology, config, watchdog=watchdog)
+        incremental.run_incremental_cycle()
+
+        schedule = ChurnSchedule.generate(
+            topology,
+            np.random.default_rng(seed),
+            num_cycles=5,
+            mean_events_per_cycle=1.5,
+            switch_probability=0.1,
+            max_failed_links=4,
+        )
+        saw_incremental = False
+        for delta in schedule:
+            watchdog.apply_delta(delta)
+            cycle = incremental.run_incremental_cycle()
+            saw_incremental |= cycle.mode == "incremental"
+
+            cold = Controller(topology, config, watchdog=_clone_watchdog(topology, watchdog))
+            cold._version = cycle.version - 1  # align pinglist version stamps
+            cold_cycle = cold.run_cycle()
+            _assert_cycles_identical(cycle, cold_cycle)
+        assert saw_incremental, "schedule never exercised the incremental path"
+
+    def test_recovery_to_pristine_matches_initial_cycle(self, fattree4):
+        """Failing links and recovering them returns the exact initial plan."""
+        config = ControllerConfig(alpha=2, beta=1)
+        controller = Controller(fattree4, config)
+        baseline = controller.run_incremental_cycle()
+        links = [l.link_id for l in fattree4.switch_links[10:13]]
+        controller.watchdog.apply_delta(TopologyDelta.of_failures(links=links))
+        controller.run_incremental_cycle()
+        controller.watchdog.apply_delta(TopologyDelta(recovered_links=tuple(links)))
+        recovered = controller.run_incremental_cycle()
+        assert recovered.mode == "incremental"
+        assert recovered.probe_matrix.to_json() == baseline.probe_matrix.to_json()
