@@ -1,0 +1,125 @@
+"""Time-to-detection under a flapping link: deTector's engine vs Pingmesh.
+
+The discrete-event telemetry engine simulates a Fattree(8) fabric where one
+aggregation link flaps (exponential dwell times, 45 s half-life).  deTector's
+pingers stream probes continuously; every 30-second window close runs the
+diagnoser, and the engine records when the fault's losses were first observed
+(time-to-detection) and when PLL first named the link
+(time-to-localization).
+
+For the baseline, Pingmesh probes the same fabric: at each window close we
+replay its all-pairs ECMP probing against the scenario as it stood during
+that window and check whether any inter-ToR pair turned lossy.  Pingmesh
+*detects* at pair granularity only -- localizing the link costs an extra
+Netbouncer round of pinned probes (~30 s, as in the paper's comparison).
+
+Run with::
+
+    PYTHONPATH=src python examples/detection_latency.py
+"""
+
+from __future__ import annotations
+
+from repro import build_fattree
+from repro.baselines import BaselineConfig, PingmeshSystem
+from repro.engine import DynamicFaultModel, EngineConfig, FlappingLink, TelemetryEngine
+from repro.monitor import ControllerConfig, DetectorSystem
+from repro.simulation import FailureScenario, SeededStreams
+
+WINDOW = 30.0
+DURATION = 600.0
+SEED = 2017
+
+
+def main() -> None:
+    topology = build_fattree(8)
+    streams = SeededStreams(SEED)
+
+    # Pick a deterministic aggregation-tier link to flap.
+    flapping_link = next(
+        link.link_id
+        for link in topology.switch_links
+        if set(link.tier_pair) <= {"aggregation", "edge", "tor"}
+    )
+    fault_start = WINDOW  # one clean window first
+
+    # --- deTector: the telemetry engine measures latency directly. ----------
+    system = DetectorSystem(
+        topology, streams.generator("probing"), ControllerConfig(alpha=2, beta=1)
+    )
+    model = DynamicFaultModel(
+        topology,
+        episodes=[
+            FlappingLink(
+                link_id=flapping_link,
+                start_time=fault_start,
+                half_life_up_seconds=45.0,
+                half_life_down_seconds=45.0,
+            )
+        ],
+        rng=streams.generator("fault-dynamics"),
+    )
+    engine = TelemetryEngine(
+        system,
+        model,
+        EngineConfig(window_seconds=WINDOW, cycle_seconds=300.0),
+        rng=streams.generator("probe-jitter"),
+    )
+    result = engine.run(DURATION)
+    [record] = [r for r in result.detections if r.link_id == flapping_link]
+
+    # --- Pingmesh: replay per-window all-pairs probing over the timeline. ---
+    # The engine recorded the fault's ground-truth intervals; we probe each
+    # window against full loss whenever any down interval overlaps it (a
+    # Pingmesh-favourable approximation: partial-window flaps count as fully
+    # dead for the whole window).
+    pingmesh = PingmeshSystem(
+        topology, streams.generator("pingmesh"), BaselineConfig(probes_per_pair=10)
+    )
+    down_intervals = [
+        (start, end if end is not None else DURATION)
+        for start, end in model.fault_intervals.get(flapping_link, [])
+    ]
+    pingmesh_detect = None
+    pingmesh_probes = 0
+    window_starts = [w.report.start for w in result.windows]
+    for start in window_starts:
+        end = start + WINDOW
+        down_overlap = any(s < end and e > start for s, e in down_intervals)
+        scenario = (
+            FailureScenario.single_link(flapping_link)
+            if down_overlap
+            else FailureScenario(description="link currently up")
+        )
+        outcome = pingmesh.run_window(scenario)
+        pingmesh_probes += outcome.detection_probes
+        if outcome.suspected_pairs:
+            # Detection at the window close; localization needs Netbouncer.
+            pingmesh_detect = end
+            break
+
+    print(f"flapping link {flapping_link} on {topology.name}, fault starts t={fault_start:.0f}s")
+    print(f"  engine: {result.probes_sent} probes over {DURATION:.0f}s simulated "
+          f"({result.probe_events_per_second:,.0f} probe events/s wall)")
+    print()
+    print(f"{'system':20s} {'detected':>12s} {'localized':>12s}")
+    detection = f"+{record.detection_latency:.1f}s" if record.detected else "never"
+    localization = f"+{record.localization_latency:.1f}s" if record.localized else "never"
+    print(f"{'deTector (engine)':20s} {detection:>12s} {localization:>12s}")
+    if pingmesh_detect is None:
+        print(f"{'Pingmesh':20s} {'never':>12s} {'never':>12s}")
+    else:
+        pm_detection = pingmesh_detect - record.fault_start
+        # Localization = detection + one Netbouncer round (§ compare_with_pingmesh).
+        pm_localization = pm_detection + pingmesh.config.localization_round_seconds
+        print(f"{'Pingmesh':20s} {f'+{pm_detection:.1f}s':>12s} {f'+{pm_localization:.1f}s':>12s}")
+    print()
+    print(
+        "deTector localizes from the same probes that detect; Pingmesh needs an\n"
+        "extra localization round after the lossy pair shows up, so its\n"
+        "time-to-localization trails by a full round even at equal detection."
+    )
+
+
+if __name__ == "__main__":
+    main()

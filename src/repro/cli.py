@@ -12,7 +12,13 @@ Sub-commands:
 * ``topology``   -- build a topology and print its node/link summary,
 * ``pmc``        -- construct a probe matrix and report its quality metrics,
 * ``monitor``    -- run the full monitoring system against random failures,
+* ``engine``     -- drive the discrete-event telemetry engine
+  (``engine run --scenario flapping ...`` measures detection latency),
 * ``experiment`` -- regenerate one of the paper's tables/figures.
+
+Every stochastic sub-command derives all of its randomness (churn, failure
+synthesis, packet loss, probe jitter, fault dynamics) from one ``--seed``
+through named :class:`repro.simulation.SeededStreams`.
 """
 
 from __future__ import annotations
@@ -20,8 +26,6 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional, Sequence
-
-import numpy as np
 
 __all__ = ["build_parser", "main"]
 
@@ -69,6 +73,46 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean topology-churn events per cycle (0 disables churn; implies one "
         "controller cycle per window)",
     )
+
+    engine = subparsers.add_parser(
+        "engine", help="discrete-event telemetry engine (timed probes, fault dynamics)"
+    )
+    engine_sub = engine.add_subparsers(dest="engine_command", required=True)
+    engine_run = engine_sub.add_parser(
+        "run", help="simulate a fault scenario and report detection latency"
+    )
+    engine_run.add_argument("--k", type=int, default=4, help="Fattree radix (default 4)")
+    engine_run.add_argument(
+        "--scenario",
+        choices=["flapping", "congestion", "gray", "switch-outage", "static"],
+        default="flapping",
+        help="fault dynamics to inject (default flapping)",
+    )
+    engine_run.add_argument("--duration", type=float, default=300.0, help="simulated seconds")
+    engine_run.add_argument("--links", type=int, default=1, help="number of faulty links")
+    engine_run.add_argument("--alpha", type=int, default=3)
+    engine_run.add_argument("--beta", type=int, default=1)
+    engine_run.add_argument("--window-seconds", type=float, default=30.0)
+    engine_run.add_argument("--cycle-seconds", type=float, default=300.0)
+    engine_run.add_argument(
+        "--probe-rate", type=float, default=None, help="per-pinger probes/s (default: pinglist rate)"
+    )
+    engine_run.add_argument("--jitter", type=float, default=0.1, help="probe interval jitter fraction")
+    engine_run.add_argument(
+        "--flap-half-life", type=float, default=45.0, help="up/down state half-life (flapping)"
+    )
+    engine_run.add_argument(
+        "--congestion-loss-rate", type=float, default=0.05, help="loss rate during congestion"
+    )
+    engine_run.add_argument(
+        "--churn", type=float, default=0.0, metavar="MEAN",
+        help="mean known-churn events replayed into the watchdog per controller cycle",
+    )
+    engine_run.add_argument(
+        "--full-rebuilds", action="store_true",
+        help="run full controller rebuilds instead of incremental cycles",
+    )
+    engine_run.add_argument("--seed", type=int, default=2017)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure of the paper")
     experiment.add_argument(
@@ -164,10 +208,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     from repro import build_fattree
     from repro.localization import aggregate_metrics
     from repro.monitor import ControllerConfig, DetectorSystem
-    from repro.simulation import ChurnSchedule, FailureGenerator
+    from repro.simulation import ChurnSchedule, FailureGenerator, SeededStreams
 
     topology = build_fattree(args.k)
-    rng = np.random.default_rng(args.seed)
+    # One seed, independent named streams: drawing an extra churn event can
+    # never shift the packet-loss draws of a later window.
+    streams = SeededStreams(args.seed)
+    rng = streams.generator("probing")
     system = DetectorSystem(
         topology,
         rng,
@@ -176,7 +223,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         ),
     )
     schedule = (
-        ChurnSchedule.generate(topology, rng, num_cycles=args.windows, mean_events_per_cycle=args.churn)
+        ChurnSchedule.generate(
+            topology,
+            streams.generator("churn"),
+            num_cycles=args.windows,
+            mean_events_per_cycle=args.churn,
+        )
         if args.churn > 0
         else None
     )
@@ -184,7 +236,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     print(
         f"controller: {cycle.probe_matrix.num_paths} probe paths, {cycle.num_pingers} pingers"
     )
-    generator = FailureGenerator(topology, rng)
+    generator = FailureGenerator(topology, streams.generator("failures"))
     metrics = []
     for window in range(args.windows):
         if schedule is not None:
@@ -208,6 +260,128 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         f"overall: accuracy {aggregated['accuracy']:.0%}, "
         f"false positives {aggregated['false_positive_ratio']:.0%} over {args.windows} windows"
     )
+    return 0
+
+
+def _build_engine_episodes(args: argparse.Namespace, topology, streams):
+    """Translate an ``engine run`` scenario name into fault episodes."""
+    from repro.engine import CongestionEpisode, FlappingLink, GrayFailure, SwitchOutage
+    from repro.simulation import FailureScenario
+
+    picker = streams.generator("fault-placement")
+    links = [link.link_id for link in topology.switch_links]
+    chosen = [int(links[i]) for i in picker.choice(len(links), size=args.links, replace=False)]
+    start = args.window_seconds  # let one clean window establish the baseline
+
+    if args.scenario == "flapping":
+        return [
+            FlappingLink(
+                link_id=link,
+                start_time=start,
+                half_life_up_seconds=args.flap_half_life,
+                half_life_down_seconds=args.flap_half_life,
+            )
+            for link in chosen
+        ], None
+    if args.scenario == "congestion":
+        return [
+            CongestionEpisode(
+                link_id=link,
+                start_time=start,
+                duration_seconds=max(args.duration - 2 * start, args.window_seconds),
+                loss_rate=args.congestion_loss_rate,
+            )
+            for link in chosen
+        ], None
+    if args.scenario == "gray":
+        return [
+            GrayFailure(link_id=link, start_time=start, salt=index)
+            for index, link in enumerate(chosen)
+        ], None
+    if args.scenario == "switch-outage":
+        switches = [node.name for node in topology.switches]
+        switch = switches[int(picker.integers(0, len(switches)))]
+        return [
+            SwitchOutage(
+                switch_name=switch,
+                start_time=start,
+                duration_seconds=max(args.duration - 2 * start, args.window_seconds),
+            )
+        ], None
+    # static: a frozen scenario active from t=0, no dynamics.
+    scenario = FailureScenario(description="static CLI scenario")
+    from repro.simulation import LinkFailure, LossMode
+
+    for link in chosen:
+        scenario.add(LinkFailure(link_id=link, mode=LossMode.FULL))
+    return [], scenario
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    from repro import build_fattree
+    from repro.engine import DynamicFaultModel, EngineConfig, TelemetryEngine
+    from repro.monitor import ControllerConfig, DetectorSystem
+    from repro.simulation import ChurnSchedule, SeededStreams
+
+    topology = build_fattree(args.k)
+    streams = SeededStreams(args.seed)
+    system = DetectorSystem(
+        topology,
+        streams.generator("probing"),
+        ControllerConfig(alpha=args.alpha, beta=args.beta),
+    )
+    episodes, static_scenario = _build_engine_episodes(args, topology, streams)
+    config = EngineConfig(
+        window_seconds=args.window_seconds,
+        cycle_seconds=args.cycle_seconds,
+        probes_per_second=args.probe_rate,
+        jitter_fraction=args.jitter,
+        incremental_cycles=not args.full_rebuilds,
+    )
+    churn_schedule = None
+    if args.churn > 0:
+        num_cycles = max(1, int(args.duration // args.cycle_seconds))
+        churn_schedule = ChurnSchedule.generate(
+            topology,
+            streams.generator("churn"),
+            num_cycles=num_cycles,
+            mean_events_per_cycle=args.churn,
+        )
+    if static_scenario is not None:
+        model = DynamicFaultModel.static(topology, static_scenario)
+        model.churn_schedule = churn_schedule
+    else:
+        model = DynamicFaultModel(
+            topology,
+            episodes=episodes,
+            rng=streams.generator("fault-dynamics"),
+            churn_schedule=churn_schedule,
+        )
+    engine = TelemetryEngine(system, model, config, rng=streams.generator("probe-jitter"))
+    result = engine.run(args.duration)
+
+    print(f"engine: {args.scenario} on {topology.name}, {args.duration:.0f} s simulated")
+    for key, value in result.summary().items():
+        print(f"  {key:28s} {value}")
+    for record in result.detections:
+        link = topology.link(record.link_id)
+        detection = (
+            f"detected +{record.detection_latency:.1f}s" if record.detected else "undetected"
+        )
+        localization = (
+            f"localized +{record.localization_latency:.1f}s"
+            if record.localized
+            else "not localized"
+        )
+        print(
+            f"  fault link {record.link_id} ({link.a} <-> {link.b}) "
+            f"at t={record.fault_start:.1f}s: {detection}, {localization}"
+        )
+    for cycle in result.cycles:
+        print(
+            f"  cycle at t={cycle.time:.0f}s [{cycle.mode}] churn={cycle.churn} "
+            f"wall={cycle.wall_seconds:.3f}s paths={cycle.num_paths}"
+        )
     return 0
 
 
@@ -251,6 +425,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "topology": _cmd_topology,
         "pmc": _cmd_pmc,
         "monitor": _cmd_monitor,
+        "engine": _cmd_engine,
         "experiment": _cmd_experiment,
     }
     return handlers[args.command](args)

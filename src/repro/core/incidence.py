@@ -428,6 +428,35 @@ class IncidenceIndex:
             counts[col] = sum(1 for r in self.col_rows(col) if row_mask[r])
         return counts
 
+    def weighted_col_counts(self, row_values):
+        """Per-column sum of ``row_values`` over the incident rows.
+
+        The transpose companion of :meth:`sum_over_row`: with the per-path
+        lost-probe counters of an aggregation window it yields every link's
+        lost-probe total, with the sent counters its probe volume -- the
+        sliding-window per-link counters the telemetry engine's
+        :class:`~repro.engine.aggregator.StreamAggregator` folds probe streams
+        into.  All inputs are exact integers, so both backends agree bit for
+        bit.
+        """
+        if self._backend is Backend.NUMPY:
+            if self._entry_rows is None:
+                self._entry_rows = _np.repeat(
+                    _np.arange(self._num_paths, dtype=_np.int64),
+                    _np.diff(self._row_indptr),
+                )
+            values = _np.asarray(row_values, dtype=_np.int64)
+            counts = _np.bincount(
+                self._row_cols,
+                weights=values[self._entry_rows],
+                minlength=self.num_links,
+            )
+            return counts.astype(_np.int64)
+        counts = [0] * self.num_links
+        for col in range(self.num_links):
+            counts[col] = sum(row_values[r] for r in self.col_rows(col))
+        return counts
+
     # ----------------------------------------------------------- link masking
     #
     # A *link mask* marks a set of columns (failed links) as unusable and,

@@ -1,0 +1,233 @@
+"""Sliding-window aggregation of probe outcome streams.
+
+The diagnoser of §3.1 consumes 30-second aggregation windows; under the
+discrete-event engine those windows are no longer "whatever one call to
+``Pinger.run_window`` produced" but a *stream* of timestamped probe batches
+arriving from many pingers.  :class:`StreamAggregator` folds that stream into
+flat per-path counters and, through the vectorized
+:class:`~repro.core.incidence.IncidenceIndex` kernels, into per-link
+sent/lost/lossy-path counters -- the quantities detection latency is defined
+over.
+
+Window semantics:
+
+* events are *tumbling-window* bucketed: an event belongs to the window whose
+  ``[start, start + window_seconds)`` interval contains its timestamp;
+* late events (timestamp before the open window's start) are **rejected** and
+  counted -- a pinger report delayed past its window must not corrupt a later
+  one (§5.1 discards such data during pre-processing);
+* events timestamped at or past the open window's end are an engine ordering
+  bug and raise: the engine closes windows before delivering later probes;
+* :meth:`close_window` emits a :class:`WindowReport` (observations plus
+  per-link counter snapshots) and opens the next window;
+* an optional ``history_windows``-deep deque of per-link lost counters
+  provides *sliding* multi-window loss counts
+  (:meth:`sliding_link_loss_counts`) for trend detectors.
+
+On a frozen clock with every event at the window start, one fold plus one
+:meth:`close_window` reproduces the merged observation set of the legacy
+snapshot path exactly (tested in ``tests/test_engine.py``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, TYPE_CHECKING
+
+from ..core.incidence import Backend, IncidenceIndex
+from ..localization import ObservationSet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (monitor imports engine)
+    from ..monitor.pinger import PingerReport
+
+__all__ = ["WindowReport", "StreamAggregator"]
+
+
+@dataclass
+class WindowReport:
+    """Everything one closed aggregation window produced.
+
+    Per-link vectors are positional over ``link_ids`` (the incidence
+    universe): ``link_sent[i]`` / ``link_lost[i]`` count probes through link
+    ``link_ids[i]``, ``link_lossy_paths[i]`` the distinct lossy paths crossing
+    it.
+    """
+
+    index: int
+    start: float
+    end: float
+    observations: ObservationSet
+    probes_sent: int
+    probes_lost: int
+    rejected_events: int
+    link_ids: Sequence[int]
+    link_sent: Sequence[int]
+    link_lost: Sequence[int]
+    link_lossy_paths: Sequence[int]
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def loss_rate(self) -> float:
+        return self.probes_lost / self.probes_sent if self.probes_sent else 0.0
+
+    def lossy_links(self) -> List[int]:
+        """Links crossed by at least one lossy path this window."""
+        return [
+            link
+            for link, lossy in zip(self.link_ids, self.link_lossy_paths)
+            if lossy > 0
+        ]
+
+
+class StreamAggregator:
+    """Folds timestamped probe outcomes into per-path and per-link counters."""
+
+    def __init__(
+        self,
+        incidence: IncidenceIndex,
+        window_seconds: float,
+        start_time: float = 0.0,
+        history_windows: int = 0,
+    ):
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if history_windows < 0:
+            raise ValueError("history_windows must be non-negative")
+        self._index = incidence
+        self._kernels = incidence.kernels
+        self.window_seconds = float(window_seconds)
+        self._window_index = 0
+        self._window_start = float(start_time)
+        self._sent = self._kernels.int_zeros(incidence.num_paths)
+        self._lost = self._kernels.int_zeros(incidence.num_paths)
+        self._probes_sent = 0
+        self._probes_lost = 0
+        self._rejected = 0
+        self.total_rejected = 0
+        self._history: Deque[Sequence[int]] = deque(maxlen=history_windows or None)
+        self._history_windows = history_windows
+
+    # ------------------------------------------------------------------ state
+    @property
+    def incidence(self) -> IncidenceIndex:
+        return self._index
+
+    @property
+    def window_index(self) -> int:
+        return self._window_index
+
+    @property
+    def window_start(self) -> float:
+        return self._window_start
+
+    @property
+    def window_end(self) -> float:
+        return self._window_start + self.window_seconds
+
+    @property
+    def open_probes_sent(self) -> int:
+        """Probes folded into the currently open window so far."""
+        return self._probes_sent
+
+    # ----------------------------------------------------------------- folding
+    def record(self, path_index: int, time: float, sent: int = 1, lost: int = 0) -> bool:
+        """Fold one probe outcome batch; returns ``False`` when rejected.
+
+        ``time`` is the outcome's timestamp.  Late events (before the open
+        window) are rejected and counted; events past the window's end raise,
+        because the engine guarantees window-close events run first.
+        """
+        if time < self._window_start:
+            self._rejected += 1
+            self.total_rejected += 1
+            return False
+        if time >= self.window_end:
+            raise ValueError(
+                f"event at t={time} belongs to a later window than "
+                f"[{self._window_start}, {self.window_end}); close the window first"
+            )
+        if not 0 <= path_index < self._index.num_paths:
+            raise IndexError(f"path index {path_index} outside the probe matrix")
+        if lost > sent:
+            raise ValueError("lost exceeds sent")
+        self._sent[path_index] += sent
+        self._lost[path_index] += lost
+        self._probes_sent += sent
+        self._probes_lost += lost
+        return True
+
+    def ingest_report(self, report: "PingerReport", time: float) -> int:
+        """Fold a whole legacy pinger report at one timestamp; returns #accepted."""
+        accepted = 0
+        for obs in report.observations:
+            if self.record(obs.path_index, time, obs.sent, obs.lost):
+                accepted += 1
+        return accepted
+
+    # ------------------------------------------------------------ link kernels
+    def _lossy_mask(self):
+        if self._index.backend is Backend.NUMPY:
+            return self._lost > 0
+        return [count > 0 for count in self._lost]
+
+    def link_sent_counts(self):
+        """Per-link probes sent this window (positional over the universe)."""
+        return self._index.weighted_col_counts(self._sent)
+
+    def link_loss_counts(self):
+        """Per-link probes lost this window (positional over the universe)."""
+        return self._index.weighted_col_counts(self._lost)
+
+    def link_lossy_path_counts(self):
+        """Per-link count of distinct lossy paths this window."""
+        return self._index.masked_col_counts(self._lossy_mask())
+
+    def sliding_link_loss_counts(self):
+        """Per-link lost probes summed over the open window plus up to
+        ``history_windows`` previously closed ones (the sliding counter)."""
+        totals = self.link_loss_counts()
+        for past in self._history:
+            if self._index.backend is Backend.NUMPY:
+                totals = totals + past
+            else:
+                totals = [a + b for a, b in zip(totals, past)]
+        return totals
+
+    # ---------------------------------------------------------------- rollover
+    def close_window(self, end_time: Optional[float] = None) -> WindowReport:
+        """Emit the open window's report and roll over to the next window.
+
+        ``end_time`` defaults to the nominal window end; passing the engine's
+        horizon closes a final partial window.
+        """
+        end = self.window_end if end_time is None else float(end_time)
+        if end < self._window_start:
+            raise ValueError("window cannot end before it starts")
+        link_lost = self.link_loss_counts()
+        report = WindowReport(
+            index=self._window_index,
+            start=self._window_start,
+            end=end,
+            observations=ObservationSet.from_counters(self._sent, self._lost),
+            probes_sent=self._probes_sent,
+            probes_lost=self._probes_lost,
+            rejected_events=self._rejected,
+            link_ids=self._index.link_ids,
+            link_sent=self.link_sent_counts(),
+            link_lost=link_lost,
+            link_lossy_paths=self.link_lossy_path_counts(),
+        )
+        if self._history_windows:
+            self._history.append(link_lost)
+        self._window_index += 1
+        self._window_start = max(end, self.window_end)
+        self._sent = self._kernels.int_zeros(self._index.num_paths)
+        self._lost = self._kernels.int_zeros(self._index.num_paths)
+        self._probes_sent = 0
+        self._probes_lost = 0
+        self._rejected = 0
+        return report

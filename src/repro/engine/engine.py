@@ -1,0 +1,436 @@
+"""The telemetry engine: monitoring as a discrete-event simulation.
+
+:class:`TelemetryEngine` wires a :class:`~repro.monitor.DetectorSystem` into
+the event loop:
+
+* a :class:`~repro.engine.probes.ProbeScheduler` fires per-pinger probe
+  batches at configurable rates with jitter,
+* a :class:`~repro.engine.dynamics.DynamicFaultModel` evolves the live
+  failure scenario (flaps, congestion, gray failures, switch outages),
+* a :class:`~repro.engine.aggregator.StreamAggregator` folds the outcome
+  stream into per-path/per-link window counters,
+* every ``window_seconds`` a window-close event diagnoses the window
+  (pre-processing + PLL) and updates detection bookkeeping,
+* every ``cycle_seconds`` a controller-cycle event replays known churn into
+  the watchdog and re-plans -- incrementally by default -- re-arming the
+  scheduler and aggregator with the new probe matrix.
+
+What the paper's static evaluation cannot measure falls out of the timeline:
+**time-to-detection** (first window whose per-link loss counters show losses
+crossing the faulty link) and **time-to-localization** (first window whose
+diagnosis names it), per fault, per scenario.
+
+The legacy snapshot pipeline is the one-tick special case
+(:meth:`TelemetryEngine.run_snapshot_window`): a frozen clock, every pinger's
+whole window fired in one event, one window close.
+``DetectorSystem.run_window`` delegates to it, so the static path and the
+timed path share one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+import time as _wall
+from dataclasses import dataclass
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from .aggregator import StreamAggregator, WindowReport
+from .dynamics import DynamicFaultModel
+from .loop import EventLoop, SimClock
+from .probes import (
+    PRIORITY_CYCLE,
+    PRIORITY_PROBE,
+    PRIORITY_WINDOW,
+    ProbeScheduler,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..monitor.diagnoser import DiagnosisReport
+    from ..monitor.pinger import PingerReport
+    from ..monitor.system import DetectorSystem
+
+__all__ = [
+    "EngineConfig",
+    "DetectionRecord",
+    "CycleRecord",
+    "EngineWindow",
+    "EngineResult",
+    "SnapshotWindow",
+    "TelemetryEngine",
+]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Timing knobs of a telemetry engine run.
+
+    Attributes
+    ----------
+    window_seconds:
+        Aggregation-window length (30 s in the paper).
+    cycle_seconds:
+        Controller re-planning period (600 s in the paper).  Must be a
+        multiple of ``window_seconds`` so cycles land on window boundaries.
+    probes_per_second:
+        Per-pinger probe rate; ``None`` uses each pinglist's own rate.
+    probe_batch_seconds:
+        Simulated time between a pinger's probe events; each event spends the
+        budget accrued since the last one, so smaller batches mean finer
+        probe timestamps at more event overhead.
+    jitter_fraction:
+        Each probe interval is scaled by ``1 + U(-j, +j)`` -- pingers drift
+        apart instead of firing in lockstep.
+    incremental_cycles:
+        Run churn-aware incremental controller cycles (PR 2) instead of full
+        rebuilds at each cycle boundary.
+    run_controller_cycles:
+        Disable to keep one probe matrix for the whole run (no cycle events).
+    history_windows:
+        Depth of the aggregator's sliding per-link loss history.
+    """
+
+    window_seconds: float = 30.0
+    cycle_seconds: float = 600.0
+    probes_per_second: Optional[float] = None
+    probe_batch_seconds: float = 1.0
+    jitter_fraction: float = 0.1
+    incremental_cycles: bool = True
+    run_controller_cycles: bool = True
+    history_windows: int = 4
+
+    def __post_init__(self) -> None:
+        if self.window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        if self.cycle_seconds <= 0:
+            raise ValueError("cycle_seconds must be positive")
+        ratio = self.cycle_seconds / self.window_seconds
+        if abs(ratio - round(ratio)) > 1e-9:
+            raise ValueError(
+                "cycle_seconds must be an integer multiple of window_seconds "
+                f"(got {self.cycle_seconds} / {self.window_seconds})"
+            )
+        if self.probe_batch_seconds <= 0:
+            raise ValueError("probe_batch_seconds must be positive")
+        if self.history_windows < 0:
+            raise ValueError("history_windows must be non-negative")
+
+
+@dataclass
+class DetectionRecord:
+    """Latency bookkeeping for one ground-truth faulty link."""
+
+    link_id: int
+    fault_start: float
+    first_loss_time: Optional[float] = None
+    localized_time: Optional[float] = None
+
+    @property
+    def detected(self) -> bool:
+        return self.first_loss_time is not None
+
+    @property
+    def localized(self) -> bool:
+        return self.localized_time is not None
+
+    @property
+    def detection_latency(self) -> Optional[float]:
+        """Fault start -> first window close whose counters show its losses."""
+        if self.first_loss_time is None:
+            return None
+        return self.first_loss_time - self.fault_start
+
+    @property
+    def localization_latency(self) -> Optional[float]:
+        """Fault start -> first window close whose diagnosis names the link."""
+        if self.localized_time is None:
+            return None
+        return self.localized_time - self.fault_start
+
+
+@dataclass
+class CycleRecord:
+    """One controller-cycle event: when, how, and how long it took (wall)."""
+
+    time: float
+    mode: str
+    churn: int
+    wall_seconds: float
+    num_paths: int
+
+
+@dataclass
+class EngineWindow:
+    """One closed window plus its diagnosis."""
+
+    report: WindowReport
+    diagnosis: "DiagnosisReport"
+
+
+@dataclass
+class EngineResult:
+    """Timeline and aggregates of one engine run."""
+
+    config: EngineConfig
+    duration: float
+    windows: List[EngineWindow]
+    cycles: List[CycleRecord]
+    detections: List[DetectionRecord]
+    probes_sent: int
+    probes_lost: int
+    events_processed: int
+    wall_seconds: float
+
+    @property
+    def probe_events_per_second(self) -> float:
+        """Probe throughput: probes simulated per wall-clock second."""
+        return self.probes_sent / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    def detection_latencies(self) -> List[float]:
+        return [r.detection_latency for r in self.detections if r.detected]
+
+    def localization_latencies(self) -> List[float]:
+        return [r.localization_latency for r in self.detections if r.localized]
+
+    def undetected_links(self) -> List[int]:
+        """Faulty links whose losses were never observed in any window."""
+        return sorted(r.link_id for r in self.detections if not r.detected)
+
+    def unlocalized_links(self) -> List[int]:
+        """Faulty links no window's diagnosis ever named (detected or not)."""
+        return sorted(r.link_id for r in self.detections if not r.localized)
+
+    def summary(self) -> Dict[str, float]:
+        localization = self.localization_latencies()
+        detection = self.detection_latencies()
+        return {
+            "sim_seconds": self.duration,
+            "windows": len(self.windows),
+            "cycles": len(self.cycles),
+            "probes_sent": self.probes_sent,
+            "probes_lost": self.probes_lost,
+            "events_processed": self.events_processed,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "probe_events_per_second": round(self.probe_events_per_second, 1),
+            "faults": len(self.detections),
+            "faults_detected": sum(1 for r in self.detections if r.detected),
+            "faults_localized": sum(1 for r in self.detections if r.localized),
+            "mean_detection_latency": (
+                round(sum(detection) / len(detection), 3) if detection else None
+            ),
+            "mean_localization_latency": (
+                round(sum(localization) / len(localization), 3) if localization else None
+            ),
+        }
+
+
+@dataclass
+class SnapshotWindow:
+    """Result of the one-tick (frozen clock) engine run behind ``run_window``.
+
+    ``window`` is ``None`` when the caller opted out of the stream fold
+    (``fold_stream=False``): the legacy pipeline only needs reports and the
+    diagnosis, so it skips the aggregator's per-link counter kernels.
+    """
+
+    reports: List["PingerReport"]
+    diagnosis: "DiagnosisReport"
+    window: Optional[WindowReport]
+
+
+class TelemetryEngine:
+    """Drives a :class:`DetectorSystem` through simulated time."""
+
+    def __init__(
+        self,
+        system: "DetectorSystem",
+        fault_model: DynamicFaultModel,
+        config: Optional[EngineConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.system = system
+        self.model = fault_model
+        self.config = config or EngineConfig()
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.loop = EventLoop()
+        system.watchdog.clock = self.loop.clock
+        # The probe simulator reads the model's live scenario on every probe.
+        system.inject_failures(fault_model.scenario)
+        self._aggregator: Optional[StreamAggregator] = None
+        self._scheduler = ProbeScheduler(
+            self.loop,
+            self._rng,
+            probes_per_second=self.config.probes_per_second,
+            batch_seconds=self.config.probe_batch_seconds,
+            jitter_fraction=self.config.jitter_fraction,
+        )
+        self._scheduler.sink = self._record_outcome
+        self._windows: List[EngineWindow] = []
+        self._cycles: List[CycleRecord] = []
+        self._records: Dict[int, DetectionRecord] = {}
+        self._cycle_index = 0
+
+    # --------------------------------------------------------------- plumbing
+    def _record_outcome(self, path_index: int, time: float, sent: int, lost: int) -> None:
+        self._aggregator.record(path_index, time, sent, lost)
+
+    def _rearm(self) -> None:
+        """Point scheduler + aggregator at the current controller cycle."""
+        self._aggregator = StreamAggregator(
+            self.system.probe_matrix.incidence,
+            self.config.window_seconds,
+            start_time=self.loop.clock.now,
+            history_windows=self.config.history_windows,
+        )
+        self._scheduler.set_pingers(self.system.build_pingers())
+
+    # ----------------------------------------------------------------- events
+    def _close_window(self, end_time: Optional[float] = None) -> None:
+        report = self._aggregator.close_window(end_time)
+        diagnosis = self.system.diagnoser.diagnose(report.observations, report.probes_sent)
+        self._windows.append(EngineWindow(report=report, diagnosis=diagnosis))
+        self._update_detections(report, diagnosis)
+
+    def _update_detections(self, report: WindowReport, diagnosis: "DiagnosisReport") -> None:
+        # Ground truth: every link whose first fault interval opened before
+        # this window's end gets a record the first time we see it.
+        for link_id in self.model.faulty_links_before(report.end):
+            if link_id not in self._records:
+                self._records[link_id] = DetectionRecord(
+                    link_id=link_id, fault_start=self.model.fault_start(link_id)
+                )
+        index = self._aggregator.incidence
+        suspected = set(diagnosis.suspected_links)
+        for record in self._records.values():
+            if record.first_loss_time is None and index.contains_link(record.link_id):
+                position = index.position(record.link_id)
+                if report.link_lost[position] > 0:
+                    record.first_loss_time = report.end
+            if record.localized_time is None and record.link_id in suspected:
+                record.localized_time = report.end
+                if record.first_loss_time is None:
+                    # Localization implies its losses were observed this window.
+                    record.first_loss_time = report.end
+
+    def _run_controller_cycle(self) -> None:
+        self._cycle_index += 1
+        delta = self.model.churn_delta(self._cycle_index - 1)
+        if delta is not None:
+            self.system.watchdog.apply_delta(delta)
+        started = _wall.perf_counter()
+        cycle = self.system.run_controller_cycle(incremental=self.config.incremental_cycles)
+        wall = _wall.perf_counter() - started
+        self._cycles.append(
+            CycleRecord(
+                time=self.loop.clock.now,
+                mode=cycle.mode,
+                churn=cycle.delta.churn if cycle.delta is not None else 0,
+                wall_seconds=wall,
+                num_paths=cycle.probe_matrix.num_paths,
+            )
+        )
+        self._rearm()
+
+    # -------------------------------------------------------------------- run
+    def run(self, duration: float) -> EngineResult:
+        """Simulate ``duration`` seconds of monitoring; returns the timeline."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        config = self.config
+        if self.system.cycle is None or self.system.diagnoser is None:
+            self.system.run_controller_cycle(incremental=config.incremental_cycles)
+        start = self.loop.clock.now
+        horizon = start + duration
+        self._rearm()
+        self.model.install(self.loop, horizon)
+
+        # Window closes on the fixed grid; a trailing partial window (when the
+        # horizon is not a multiple of the window) closes at the horizon.
+        num_windows = int(math.floor(duration / config.window_seconds + 1e-9))
+        for k in range(1, num_windows + 1):
+            self.loop.schedule_at(
+                start + k * config.window_seconds, self._close_window, PRIORITY_WINDOW
+            )
+        trailing = duration - num_windows * config.window_seconds
+        if trailing > 1e-9:
+            self.loop.schedule_at(
+                horizon, lambda: self._close_window(horizon), PRIORITY_WINDOW
+            )
+
+        if config.run_controller_cycles:
+            cycles = int(math.floor(duration / config.cycle_seconds + 1e-9))
+            for k in range(1, cycles + 1):
+                at = start + k * config.cycle_seconds
+                if at >= horizon:  # a cycle exactly at the horizon plans nothing
+                    break
+                self.loop.schedule_at(at, self._run_controller_cycle, PRIORITY_CYCLE)
+
+        wall_started = _wall.perf_counter()
+        self.loop.run_until(horizon)
+        wall = _wall.perf_counter() - wall_started
+
+        return EngineResult(
+            config=config,
+            duration=duration,
+            windows=list(self._windows),
+            cycles=list(self._cycles),
+            detections=sorted(self._records.values(), key=lambda r: (r.fault_start, r.link_id)),
+            probes_sent=self._scheduler.probes_sent,
+            probes_lost=self._scheduler.probes_lost,
+            events_processed=self.loop.events_processed,
+            wall_seconds=wall,
+        )
+
+    # ------------------------------------------------------------- snapshot
+    @classmethod
+    def run_snapshot_window(
+        cls,
+        system: "DetectorSystem",
+        window_seconds: Optional[float] = None,
+        fold_stream: bool = True,
+    ) -> SnapshotWindow:
+        """The legacy static pipeline as a one-tick engine run.
+
+        A frozen clock, one probe event firing every healthy pinger's whole
+        window budget (in pinglist order, through the same scalar probing loop
+        the pre-engine code used, so random draws are consumed identically),
+        and one window-close event running the diagnoser.  This *is* the
+        implementation of ``DetectorSystem.run_window``; the timed engine is
+        the same dataflow with real intervals between the events.
+
+        ``fold_stream=False`` skips the aggregator fold (and its per-link
+        counter kernels) when the caller only needs reports + diagnosis.
+        """
+        clock = SimClock(0.0)
+        clock.freeze()
+        loop = EventLoop(clock)
+        window = window_seconds or system.controller.config.report_interval_seconds
+        aggregator = (
+            StreamAggregator(
+                system.probe_matrix.incidence, window_seconds=window, start_time=0.0
+            )
+            if fold_stream
+            else None
+        )
+        reports: List["PingerReport"] = []
+        state: Dict[str, object] = {"window": None}
+
+        def probe_event() -> None:
+            for report in system.iter_pinger_reports():
+                reports.append(report)
+                if aggregator is not None:
+                    aggregator.ingest_report(report, 0.0)
+                system.diagnoser.ingest(report)
+
+        def close_event() -> None:
+            if aggregator is not None:
+                state["window"] = aggregator.close_window(0.0)
+            state["diagnosis"] = system.diagnoser.run_window()
+
+        loop.schedule_at(0.0, probe_event, PRIORITY_PROBE)
+        loop.schedule_at(0.0, close_event, PRIORITY_PROBE + 1)
+        loop.run()
+        return SnapshotWindow(
+            reports=reports, diagnosis=state["diagnosis"], window=state["window"]
+        )

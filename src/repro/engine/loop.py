@@ -1,0 +1,158 @@
+"""Simulated time and the binary-heap event loop.
+
+The paper's monitoring system is inherently temporal: pingers probe
+continuously, the diagnoser closes a 30-second aggregation window, the
+controller re-plans every 10 minutes.  :class:`SimClock` carries the current
+simulated time and :class:`EventLoop` orders callbacks on a binary heap keyed
+by ``(time, priority, sequence)`` -- the sequence counter makes processing
+order fully deterministic, which is what lets a seeded engine run reproduce
+byte-identical detection timelines.
+
+A *frozen* clock turns the loop into a zero-duration executor: events may be
+scheduled and run at the current instant but any attempt to advance time
+raises.  The legacy snapshot pipeline (``DetectorSystem.run_window``) runs as
+exactly that -- a one-tick engine run on a frozen clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+__all__ = ["SimClock", "EventHandle", "EventLoop"]
+
+
+class SimClock:
+    """Monotonic simulated time, optionally frozen at the current instant."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._frozen = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def freeze(self) -> None:
+        """Pin the clock: advancing past the current instant becomes an error."""
+        self._frozen = True
+
+    def advance(self, to: float) -> None:
+        if to < self._now:
+            raise ValueError(f"cannot rewind simulated time from {self._now} to {to}")
+        if self._frozen and to > self._now:
+            raise RuntimeError(
+                f"frozen clock cannot advance from {self._now} to {to}; "
+                "snapshot runs must schedule every event at the current instant"
+            )
+        self._now = to
+
+
+class EventHandle:
+    """Cancellation token for a scheduled event."""
+
+    __slots__ = ("time", "priority", "_cancelled")
+
+    def __init__(self, time: float, priority: int):
+        self.time = time
+        self.priority = priority
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+
+class EventLoop:
+    """Deterministic discrete-event scheduler over a :class:`SimClock`.
+
+    Events due at the same simulated time run in ascending ``priority`` order
+    (fault transitions before window closes before probe batches, by the
+    engine's convention) and, within a priority, in scheduling order.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None):
+        self.clock = clock or SimClock()
+        self._heap: List[tuple] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+
+    # -------------------------------------------------------------- schedule
+    def schedule_at(
+        self, time: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self.clock.now:
+            raise ValueError(
+                f"cannot schedule an event at {time} before the current time {self.clock.now}"
+            )
+        handle = EventHandle(time, priority)
+        heapq.heappush(self._heap, (time, priority, next(self._sequence), handle, callback))
+        return handle
+
+    def schedule_after(
+        self, delay: float, callback: Callable[[], None], priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.schedule_at(self.clock.now + delay, callback, priority)
+
+    # ------------------------------------------------------------------ state
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) events still in the heap."""
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
+
+    def next_event_time(self) -> Optional[float]:
+        self._drop_cancelled()
+        return self._heap[0][0] if self._heap else None
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0][3].cancelled:
+            heapq.heappop(self._heap)
+
+    # -------------------------------------------------------------------- run
+    def step(self) -> bool:
+        """Run the next event; returns ``False`` when the heap is empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return False
+        time, _, _, _, callback = heapq.heappop(self._heap)
+        self.clock.advance(time)
+        self.events_processed += 1
+        callback()
+        return True
+
+    def run_until(self, deadline: float) -> int:
+        """Run every event due at or before ``deadline``; returns events run.
+
+        The clock is left at ``deadline`` (or its starting point, if later)
+        even when the last event fired earlier, so back-to-back ``run_until``
+        calls partition simulated time cleanly.
+        """
+        processed = 0
+        while True:
+            self._drop_cancelled()
+            if not self._heap or self._heap[0][0] > deadline:
+                break
+            self.step()
+            processed += 1
+        if deadline > self.clock.now:
+            self.clock.advance(deadline)
+        return processed
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the heap (bounded by ``max_events`` when given)."""
+        processed = 0
+        while (max_events is None or processed < max_events) and self.step():
+            processed += 1
+        return processed

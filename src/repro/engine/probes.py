@@ -1,0 +1,174 @@
+"""Timed probe emission: per-pinger probe events at configurable rates.
+
+Each pinger of the current controller cycle becomes a *stream*: a recurring
+event that, every ``batch_seconds`` of simulated time (jittered so the fleet
+does not fire in lockstep, exactly like staggered real pingers), spends the
+probe budget accrued since its last firing.  The budget is
+``probes_per_second * elapsed`` with fractional carry, distributed round-robin
+over the pinger's pinglist entries from a persistent cursor -- over time every
+entry receives its fair share, matching the paper's "loop over the pinglist"
+behaviour (§3.1) at any rate.
+
+Outcomes are pushed as ``(path_index, time, sent, lost)`` batches into a sink
+(the engine wires the :class:`~repro.engine.aggregator.StreamAggregator`
+here).  Batches use the vectorized
+:meth:`~repro.simulation.ProbeSimulator.probe_path_batch` kernel, so
+failure-free paths -- the vast majority -- cost one dictionary lookup each.
+
+When the controller installs a new cycle the engine calls
+:meth:`ProbeScheduler.set_pingers`; live streams from the previous cycle are
+invalidated through a generation counter (their already-scheduled events
+become no-ops) and fresh streams start at the current instant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, TYPE_CHECKING
+
+import numpy as np
+
+from .loop import EventLoop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..monitor.pinger import Pinger
+
+__all__ = ["ProbeScheduler"]
+
+# Priority convention of the engine's event classes at equal timestamps:
+# fault transitions run first (the loop default, 0), then window closes, then
+# controller cycles, then probe batches -- so a probe fired exactly at a
+# boundary lands in the *new* window, against the *new* pinglists.
+PRIORITY_FAULT = 0
+PRIORITY_WINDOW = 10
+PRIORITY_CYCLE = 20
+PRIORITY_PROBE = 30
+
+
+class _PingerStream:
+    """Per-pinger probing state: budget carry, entry cursor, sequence counters."""
+
+    __slots__ = ("pinger", "entries", "config", "carry", "cursor", "sequence", "last_fired")
+
+    def __init__(self, pinger: "Pinger", start_time: float):
+        self.pinger = pinger
+        self.entries = list(pinger.pinglist.entries)
+        self.config = pinger.probe_config()
+        self.carry = 0.0
+        self.cursor = 0
+        # Per-entry next probe sequence (drives source-port/DSCP entropy).
+        self.sequence: List[int] = [0] * len(self.entries)
+        self.last_fired = start_time
+
+
+class ProbeScheduler:
+    """Fires per-pinger probe batches at a configurable rate with jitter."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        rng: np.random.Generator,
+        probes_per_second: Optional[float] = None,
+        batch_seconds: float = 1.0,
+        jitter_fraction: float = 0.1,
+        batched: bool = True,
+    ):
+        if batch_seconds <= 0:
+            raise ValueError("batch_seconds must be positive")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must lie in [0, 1)")
+        if probes_per_second is not None and probes_per_second <= 0:
+            raise ValueError("probes_per_second must be positive")
+        self._loop = loop
+        self._rng = rng
+        self._rate_override = probes_per_second
+        self.batch_seconds = float(batch_seconds)
+        self.jitter_fraction = float(jitter_fraction)
+        self._batched = batched
+        self._streams: Dict[str, _PingerStream] = {}
+        self._generation = 0
+        self.sink: Optional[Callable[[int, float, int, int], None]] = None
+        self.probes_sent = 0
+        self.probes_lost = 0
+        self.batches_fired = 0
+
+    # ------------------------------------------------------------- pinger set
+    def set_pingers(self, pingers: Mapping[str, "Pinger"]) -> None:
+        """Install the pingers of a (new) controller cycle.
+
+        Streams of the previous cycle are invalidated -- their pending events
+        no-op through the generation check -- and every new stream's first
+        firing is scheduled one jittered batch interval from now, staggered
+        per pinger.
+        """
+        self._generation += 1
+        generation = self._generation
+        now = self._loop.clock.now
+        self._streams = {
+            name: _PingerStream(pinger, now)
+            for name, pinger in pingers.items()
+            if pinger.pinglist.entries
+        }
+        for name in self._streams:
+            self._loop.schedule_after(
+                self._jittered_interval(), self._make_event(name, generation), PRIORITY_PROBE
+            )
+
+    def _rate_for(self, stream: _PingerStream) -> float:
+        if self._rate_override is not None:
+            return self._rate_override
+        return stream.pinger.pinglist.probes_per_second
+
+    def _jittered_interval(self) -> float:
+        jitter = self.jitter_fraction
+        if jitter == 0.0:
+            return self.batch_seconds
+        return self.batch_seconds * (1.0 + jitter * float(self._rng.uniform(-1.0, 1.0)))
+
+    def _make_event(self, name: str, generation: int) -> Callable[[], None]:
+        def fire() -> None:
+            if generation != self._generation:
+                return  # a newer controller cycle replaced this stream
+            self._fire(name)
+            self._loop.schedule_after(
+                self._jittered_interval(), self._make_event(name, generation), PRIORITY_PROBE
+            )
+
+        return fire
+
+    # ---------------------------------------------------------------- firing
+    def _fire(self, name: str) -> None:
+        stream = self._streams[name]
+        now = self._loop.clock.now
+        elapsed = now - stream.last_fired
+        stream.last_fired = now
+        budget = stream.carry + self._rate_for(stream) * elapsed
+        probes = int(budget)
+        stream.carry = budget - probes
+        if probes <= 0 or not stream.entries:
+            return
+        self.batches_fired += 1
+        num_entries = len(stream.entries)
+        # Round-robin from the persistent cursor: the first (probes % n)
+        # entries after the cursor get one extra probe.
+        base, extra = divmod(probes, num_entries)
+        send = stream.pinger.probe_entry_batched if self._batched else stream.pinger.probe_entry
+        for offset in range(num_entries):
+            count = base + (1 if offset < extra else 0)
+            if count == 0:
+                break
+            position = (stream.cursor + offset) % num_entries
+            entry = stream.entries[position]
+            sent, lost = send(
+                entry, count, stream.sequence[position], stream.config
+            )
+            stream.sequence[position] += count
+            self.probes_sent += sent
+            self.probes_lost += lost
+            if self.sink is not None:
+                self.sink(entry.path_index, now, sent, lost)
+        stream.cursor = (stream.cursor + extra) % num_entries if num_entries else 0
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_streams(self) -> int:
+        return len(self._streams)

@@ -49,6 +49,26 @@ class ObservationSet:
         for obs in observations:
             self.add(obs)
 
+    @classmethod
+    def from_counters(cls, sent: Sequence[int], lost: Sequence[int]) -> "ObservationSet":
+        """Build an observation set from parallel per-path counter vectors.
+
+        ``sent[i]`` / ``lost[i]`` are the window totals for probe-matrix path
+        ``i``; paths with no probes sent are omitted, matching what a pinger
+        that never exercised a path would report.  This is how the telemetry
+        engine's stream aggregator converts its flat counter arrays back into
+        the observation form every localization algorithm consumes.
+        """
+        if len(sent) != len(lost):
+            raise ValueError("sent and lost counter vectors must have equal length")
+        observations = cls()
+        for index, count in enumerate(sent):
+            if count:
+                observations.add(
+                    PathObservation(path_index=index, sent=int(count), lost=int(lost[index]))
+                )
+        return observations
+
     def add(self, observation: PathObservation) -> None:
         existing = self._by_path.get(observation.path_index)
         if existing is None:

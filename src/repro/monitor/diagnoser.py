@@ -110,7 +110,21 @@ class Diagnoser:
     def run_window(self) -> DiagnosisReport:
         """Merge pending reports, run pre-processing and PLL, emit alerts."""
         merged = merge_observations([r.observations for r in self._pending_reports])
-        probes_analyzed = merged.total_sent()
+        self._pending_reports = []
+        return self.diagnose(merged)
+
+    def diagnose(
+        self, merged: ObservationSet, probes_analyzed: Optional[int] = None
+    ) -> DiagnosisReport:
+        """Run pre-processing and PLL over one window's merged observations.
+
+        The report-free entry point the telemetry engine uses: its stream
+        aggregator folds timestamped probe batches into exactly this merged
+        per-path view, so window diagnosis no longer requires materialising
+        per-pinger reports.  :meth:`run_window` is now the thin legacy wrapper
+        that merges pending reports and delegates here.
+        """
+        probes_analyzed = merged.total_sent() if probes_analyzed is None else probes_analyzed
         preprocess = preprocess_observations(
             self.probe_matrix,
             merged,
@@ -151,6 +165,5 @@ class Diagnoser:
             probes_analyzed=probes_analyzed,
         )
         self.history.append(report)
-        self._pending_reports = []
         self._window_index += 1
         return report

@@ -68,37 +68,79 @@ class Pinger:
         budget = self.pinglist.probes_per_second * window
         return max(1, int(budget // num_paths))
 
-    def run_window(self, window_seconds: Optional[float] = None) -> PingerReport:
-        """Probe every owned path for one aggregation window."""
-        window = window_seconds or self.pinglist.report_interval_seconds
-        per_path = self.probes_per_path_per_window(window)
+    def probe_config(self, probes_per_path: int = 1) -> ProbeConfig:
+        """The probe-entropy configuration this pinger's pinglist implies."""
         low_port, high_port = self.pinglist.source_port_range
-        probe_config = ProbeConfig(
-            probes_per_path=per_path,
+        return ProbeConfig(
+            probes_per_path=max(1, probes_per_path),
             port_range=max(1, high_port - low_port + 1),
             base_port=low_port,
             destination_port=self.pinglist.destination_port,
             dscp_values=self.pinglist.dscp_values,
         )
 
+    def probe_entry(
+        self,
+        entry,
+        probes: int,
+        start_sequence: int = 0,
+        config: Optional[ProbeConfig] = None,
+    ) -> Tuple[int, int]:
+        """Send ``probes`` probes on one pinglist entry; returns ``(sent, lost)``.
+
+        The unit of work both window modes are built from: the snapshot path
+        sends each entry's whole per-window budget in one call, the telemetry
+        engine's :class:`~repro.engine.probes.ProbeScheduler` sends small
+        timed batches.  Counts include loss-confirmation resends.
+        """
+        config = config or self.probe_config(probes)
+        path = self._paths_by_index[entry.path_index]
+        sent = probes
+        lost = 0
+        for sequence in range(start_sequence, start_sequence + probes):
+            packet = config.packet_for(path, sequence)
+            delivered = self._simulator.round_trip(path, packet)
+            if not delivered:
+                confirmed_lost = 1
+                # Confirm the loss pattern by re-sending the same content.
+                for _ in range(self._confirm_losses):
+                    sent += 1
+                    if not self._simulator.round_trip(path, packet):
+                        confirmed_lost += 1
+                lost += confirmed_lost
+        return sent, lost
+
+    def probe_entry_batched(
+        self,
+        entry,
+        probes: int,
+        start_sequence: int = 0,
+        config: Optional[ProbeConfig] = None,
+    ) -> Tuple[int, int]:
+        """Vectorized sibling of :meth:`probe_entry` (the engine's hot path).
+
+        Same counters and failure semantics, but whole failure-free paths cost
+        one scenario lookup and random draws are consumed in batch order (a
+        distinct, individually reproducible random regime -- see
+        :meth:`repro.simulation.ProbeSimulator.probe_path_batch`).
+        """
+        config = config or self.probe_config(probes)
+        path = self._paths_by_index[entry.path_index]
+        return self._simulator.probe_path_batch(
+            path, config, probes, start_sequence, confirm_losses=self._confirm_losses
+        )
+
+    def run_window(self, window_seconds: Optional[float] = None) -> PingerReport:
+        """Probe every owned path for one aggregation window."""
+        window = window_seconds or self.pinglist.report_interval_seconds
+        per_path = self.probes_per_path_per_window(window)
+        probe_config = self.probe_config(per_path)
+
         observations = ObservationSet()
         sent_total = 0
         lost_total = 0
         for entry in self.pinglist.entries:
-            path = self._paths_by_index[entry.path_index]
-            sent = per_path
-            lost = 0
-            for sequence in range(per_path):
-                packet = probe_config.packet_for(path, sequence)
-                delivered = self._simulator.round_trip(path, packet)
-                if not delivered:
-                    confirmed_lost = 1
-                    # Confirm the loss pattern by re-sending the same content.
-                    for _ in range(self._confirm_losses):
-                        sent += 1
-                        if not self._simulator.round_trip(path, packet):
-                            confirmed_lost += 1
-                    lost += confirmed_lost
+            sent, lost = self.probe_entry(entry, per_path, config=probe_config)
             observations.add(
                 PathObservation(path_index=entry.path_index, sent=sent, lost=lost)
             )

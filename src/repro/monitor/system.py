@@ -127,37 +127,58 @@ class DetectorSystem:
         """Install the failure scenario the next window will experience."""
         self._simulator.set_scenario(scenario)
 
-    def run_window(
-        self,
-        scenario: Optional[FailureScenario] = None,
-        evaluate: bool = True,
-    ) -> WindowOutcome:
-        """Run one 30-second aggregation window end to end."""
-        if self.cycle is None or self.diagnoser is None:
-            self.run_controller_cycle()
-        if scenario is not None:
-            self.inject_failures(scenario)
+    def build_pingers(self) -> Dict[str, Pinger]:
+        """The healthy pingers of the current cycle, in pinglist order.
 
+        Down pingers are simply absent (they stop reporting).  Both window
+        modes are built on this set: the snapshot path runs each pinger's
+        whole window in one shot, the telemetry engine's probe scheduler
+        turns each one into a timed probe stream.
+        """
         paths_by_index = {
             index: path for index, path in enumerate(self.probe_matrix.paths)
         }
-        reports: List[PingerReport] = []
-        probes_sent = 0
+        pingers: Dict[str, Pinger] = {}
         for server, pinglist in self.cycle.pinglists.items():
             if not self.watchdog.is_server_healthy(server):
-                continue  # a down pinger simply stops reporting
-            pinger = Pinger(
+                continue
+            pingers[server] = Pinger(
                 pinglist,
                 paths_by_index,
                 self._simulator,
                 confirm_losses=self.controller.config.loss_confirmation_probes,
             )
-            report = pinger.run_window()
-            probes_sent += report.probes_sent
-            reports.append(report)
-            self.diagnoser.ingest(report)
+        return pingers
 
-        diagnosis = self.diagnoser.run_window()
+    def iter_pinger_reports(self):
+        """Run every healthy pinger's window once, yielding its report."""
+        for pinger in self.build_pingers().values():
+            yield pinger.run_window()
+
+    def run_window(
+        self,
+        scenario: Optional[FailureScenario] = None,
+        evaluate: bool = True,
+    ) -> WindowOutcome:
+        """Run one 30-second aggregation window end to end.
+
+        Since the telemetry engine landed this is literally a one-tick engine
+        run on a frozen clock (:meth:`repro.engine.TelemetryEngine.run_snapshot_window`):
+        one probe event fires every pinger's window, one window-close event
+        runs the diagnoser.  Probe outcomes and random-draw order are
+        identical to the historical inline loop.
+        """
+        if self.cycle is None or self.diagnoser is None:
+            self.run_controller_cycle()
+        if scenario is not None:
+            self.inject_failures(scenario)
+
+        from ..engine.engine import TelemetryEngine  # local import: engine sits above monitor
+
+        tick = TelemetryEngine.run_snapshot_window(self, fold_stream=False)
+        reports = tick.reports
+        probes_sent = sum(report.probes_sent for report in reports)
+        diagnosis = tick.diagnosis
         metrics = None
         if evaluate:
             truth = self._simulator.scenario.bad_link_ids

@@ -26,7 +26,7 @@ link masks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..topology import HealthSnapshot, Topology, TopologyDelta
 
@@ -49,6 +49,13 @@ class Watchdog:
     unhealthy_servers: Set[str] = field(default_factory=set)
     failed_switches: Set[str] = field(default_factory=set)
     failed_link_ids: Set[int] = field(default_factory=set)
+    #: Optional simulated-time source (any object with a ``now`` attribute,
+    #: e.g. :class:`~repro.engine.loop.SimClock`).  When set, every delta
+    #: applied through :meth:`apply_delta` is timestamped into
+    #: :attr:`delta_log`, giving engine runs an auditable control-plane
+    #: timeline next to the fault model's data-plane ground truth.
+    clock: Optional[object] = None
+    delta_log: List[Tuple[float, TopologyDelta]] = field(default_factory=list)
 
     # ----------------------------------------------------------- server health
     def mark_server_unhealthy(self, server_name: str) -> None:
@@ -104,6 +111,8 @@ class Watchdog:
 
     def apply_delta(self, delta: TopologyDelta) -> None:
         """Apply a churn delta (e.g. one ``ChurnSchedule`` cycle) to the state."""
+        if self.clock is not None:
+            self.delta_log.append((float(self.clock.now), delta))
         for link_id in delta.failed_links:
             self.report_failed_link(link_id)
         for link_id in delta.recovered_links:

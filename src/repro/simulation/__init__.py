@@ -11,6 +11,7 @@ from .failures import (
 from .latency import LatencyConfig, LatencyModel, RTTSample
 from .network import PairProbeOutcome, ProbeConfig, ProbeSimulator
 from .resources import PingerResourceModel, ResourceUsage
+from .rng import SeededStreams
 from .workload import Flow, WorkloadConfig, WorkloadModel
 
 __all__ = [
@@ -31,4 +32,5 @@ __all__ = [
     "RTTSample",
     "PingerResourceModel",
     "ResourceUsage",
+    "SeededStreams",
 ]
