@@ -96,6 +96,10 @@ def bench(name: str, topology, duration: float, seed: int = 2017) -> dict:
         ),
         "faults_localized": summary["faults_localized"],
         "mean_localization_latency_seconds": summary["mean_localization_latency"],
+        # Deterministic work counters (aggregation folds, window closes,
+        # probe batches): reproducible for a fixed seed on any machine,
+        # unlike the wall-clock fields above.
+        "cost_counters": result.counters,
     }
 
 

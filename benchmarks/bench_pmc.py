@@ -1,9 +1,12 @@
-"""PMC wall-clock smoke benchmark: writes ``BENCH_pmc.json``.
+"""PMC smoke benchmark: writes counter-annotated ``BENCH_pmc.json``.
 
-Times probe-matrix construction (the Table 2 configuration: alpha=2, beta=1,
+Runs probe-matrix construction (the Table 2 configuration: alpha=2, beta=1,
 decomposition + lazy updates) on a few Fattree sizes, once per incidence
-backend, and asserts that both backends select byte-identical path sets.
-Used by the CI benchmark-smoke job; run locally with::
+backend, and asserts that both backends agree byte-for-byte on the selected
+path sets *and* on the deterministic cost counters
+(:meth:`~repro.core.PMCStats.cost_counters`).  The counters are the gateable
+signal; the recorded wall-clock seconds are informational.  Used by the CI
+benchmark-smoke job; run locally with::
 
     PYTHONPATH=src python benchmarks/bench_pmc.py [--quick] [--out BENCH_pmc.json]
 """
@@ -26,6 +29,7 @@ def bench(radix: int) -> dict:
     paths = enumerate_candidate_paths(topology, ordered=False)
     row = {"topology": f"fattree{radix}", "candidate_paths": len(paths)}
     selections = {}
+    counters = {}
     for backend in (Backend.NUMPY, Backend.PYTHON):
         t0 = time.perf_counter()
         routing = RoutingMatrix(topology, paths, backend=backend)
@@ -33,12 +37,17 @@ def bench(radix: int) -> dict:
         result = construct_probe_matrix(routing, PMCOptions(alpha=2, beta=1))
         t2 = time.perf_counter()
         selections[backend] = result.selected_indices
+        counters[backend] = result.stats.cost_counters()
         row[f"{backend.value}_build_seconds"] = round(t1 - t0, 4)
         row[f"{backend.value}_pmc_seconds"] = round(t2 - t1, 4)
         row["selected_paths"] = result.num_paths
     if selections[Backend.NUMPY] != selections[Backend.PYTHON]:
         raise SystemExit(f"backend selections diverge on fattree{radix}")
+    if counters[Backend.NUMPY] != counters[Backend.PYTHON]:
+        raise SystemExit(f"backend cost counters diverge on fattree{radix}")
     row["backends_identical"] = True
+    row["counters_identical"] = True
+    row["cost_counters"] = counters[Backend.NUMPY]
     row["speedup_python_over_numpy"] = round(
         row["python_pmc_seconds"] / max(row["numpy_pmc_seconds"], 1e-9), 2
     )

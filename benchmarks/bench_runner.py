@@ -1,0 +1,110 @@
+"""Parallel experiment-runner benchmark: writes ``BENCH_runner.json``.
+
+Runs the same experiment sweep twice -- serially and through the process-pool
+executor (``run_all(..., jobs=N)``) -- and
+
+* **hard-gates determinism**: the two sweeps must produce byte-identical
+  tables on their deterministic view (``ExperimentTable.deterministic_rows``;
+  wall-clock cells are informational by design), and
+* **records the wall-clock speedup** (informational: it depends on the CI
+  box's cores and load, so it is reported, never asserted).
+
+Used by the CI benchmark-smoke job in quick mode; run locally with::
+
+    PYTHONPATH=src python benchmarks/bench_runner.py [--quick] [--jobs N] [--out BENCH_runner.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.experiments import ExperimentSuite, run_all
+
+
+def build_suite(quick: bool) -> ExperimentSuite:
+    suite = ExperimentSuite(name="bench-runner-quick" if quick else "bench-runner")
+    if quick:
+        suite.add_spec("table2", "table2", scale="tiny")
+        suite.add_spec("table3", "table3")
+        suite.add_spec("figure6", "figure6", radix=4, trials=4, failure_counts=(1, 3))
+        suite.add_spec("table4", "table4", radix=4, trials=4, probes_per_path=80,
+                       alpha_beta=((1, 0), (1, 1)), failure_counts=(1, 2))
+    else:
+        suite.add_spec("table2", "table2")
+        suite.add_spec("table3", "table3")
+        suite.add_spec("table4", "table4", radix=4, trials=5, probes_per_path=80,
+                       alpha_beta=((1, 0), (2, 0), (1, 1)), failure_counts=(1, 2))
+        suite.add_spec("table5", "table5", radix=6, beta=2, trials=4,
+                       failure_counts=(1, 5), probes_per_path=100)
+        suite.add_spec("figure6", "figure6", radix=4, trials=6, failure_counts=(1, 3, 5))
+        suite.add_spec("pll_comparison", "pll_comparison", radix=6, trials=10)
+    return suite
+
+
+def sweep(suite: ExperimentSuite, jobs: int, seed: int):
+    start = time.perf_counter()
+    runs = run_all(suite, verbose=False, jobs=jobs, seed=seed)
+    return runs, time.perf_counter() - start
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small experiments only")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for the parallel sweep (default: min(4, cores))")
+    parser.add_argument("--seed", type=int, default=2017)
+    parser.add_argument("--out", default="BENCH_runner.json")
+    args = parser.parse_args()
+
+    import scipy.sparse.csgraph  # noqa: F401  (warm up lazy imports)
+
+    jobs = args.jobs or min(4, os.cpu_count() or 1)
+    suite = build_suite(args.quick)
+
+    serial_runs, serial_seconds = sweep(suite, jobs=1, seed=args.seed)
+    parallel_runs, parallel_seconds = sweep(suite, jobs=jobs, seed=args.seed)
+
+    # Determinism is the gate; the speedup is informational.
+    mismatches = [
+        a.name
+        for a, b in zip(serial_runs, parallel_runs)
+        if a.table.deterministic_rows() != b.table.deterministic_rows()
+        or a.table.notes != b.table.notes
+        or a.table.metadata != b.table.metadata
+    ]
+    if mismatches:
+        raise SystemExit(f"serial and --jobs {jobs} sweeps diverge on: {mismatches}")
+
+    report = {
+        "benchmark": "parallel_experiment_runner",
+        "config": {
+            "suite": suite.name,
+            "experiments": suite.names(),
+            "jobs": jobs,
+            "seed": args.seed,
+        },
+        "python_version": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        "tables_identical": True,
+        "per_experiment_serial_seconds": {
+            run.name: round(run.elapsed_seconds, 3) for run in serial_runs
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(
+        f"{suite.name}: serial {serial_seconds:.2f}s -> jobs={jobs} {parallel_seconds:.2f}s "
+        f"(x{report['speedup']}), tables identical"
+    )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,10 +1,12 @@
-"""Table 2 -- PMC running time per optimisation level.
+"""Table 2 -- PMC work per optimisation level (counter-gated).
 
 The paper's claim: each added optimisation (problem decomposition, lazy score
-updates, symmetry reduction) cuts the construction time, by orders of
-magnitude at scale.  These benchmarks time each variant on a Fattree(6)
-routing matrix (1,377 candidate paths) and the full sweep harness on the
-"small" instance set, and assert the ordering strawman >= lazy variants.
+updates, symmetry reduction) cuts the construction *work*, by orders of
+magnitude at scale.  The gate asserts that claim on the deterministic
+greedy-evaluation counters (byte-identical across backends and machines, so
+the test cannot flake on a loaded CI box); wall-clock timings stay in the
+table as informational columns and in the ``wallclock``-marked micro
+benchmarks, which the tier-1 gate job excludes.
 """
 
 from __future__ import annotations
@@ -17,12 +19,17 @@ from repro.topology import PathOrbits
 
 ALPHA, BETA = 2, 1
 
+EVAL_COLUMNS = ("strawman_evals", "decomposition_evals", "lazy_update_evals", "symmetry_evals")
+
 
 def _options(**flags):
     return PMCOptions(alpha=ALPHA, beta=BETA, **flags)
 
 
+@pytest.mark.wallclock
 class TestPMCVariants:
+    """Wall-clock micro benchmarks of the four variants (informational only)."""
+
     def test_strawman(self, benchmark, fattree6_routing):
         options = _options(use_decomposition=False, use_lazy_update=False, use_symmetry=False)
         result = benchmark.pedantic(
@@ -64,16 +71,37 @@ class TestTable2Harness:
         table = benchmark.pedantic(table2.run, rounds=1, iterations=1)
         assert len(table.rows) >= 3
         for row in table.rows:
-            timings = [
-                row[column]
-                for column in ("strawman", "decomposition", "lazy_update", "symmetry")
-                if row[column] is not None
-            ]
-            assert timings, f"no optimisation level ran for {row['dcn']}"
-            # The paper's headline ordering: the fully optimised variant never
-            # loses to the strawman (decomposition alone may add overhead on
-            # VL2/BCube, exactly as Table 2 reports).
-            if row["strawman"] is not None:
-                assert row["symmetry"] <= row["strawman"] * 1.2
-                assert row["lazy_update"] <= row["strawman"] * 1.2
+            evals = [row[column] for column in EVAL_COLUMNS if row[column] is not None]
+            assert evals, f"no optimisation level ran for {row['dcn']}"
+            # The paper's headline ordering, gated on *work* rather than
+            # wall clock: the optimised variants never evaluate more
+            # candidates than the strawman's full-rescore greedy.
+            # (Decomposition alone may add wall-clock overhead on VL2/BCube,
+            # exactly as Table 2 reports -- but never extra evaluations.)
+            if row["strawman_evals"] is not None:
+                assert row["symmetry_evals"] <= row["strawman_evals"]
+                assert row["lazy_update_evals"] <= row["strawman_evals"]
+                assert row["decomposition_evals"] <= row["strawman_evals"]
+                # Lazy (CELF) updates only ever skip rescores.
+                assert row["lazy_update_evals"] <= row["decomposition_evals"]
+            # The informational wall-clock cells ride along for every level
+            # whose counter cell is populated (never asserted on).
+            for column in EVAL_COLUMNS:
+                level = column[: -len("_evals")]
+                assert (row[level] is None) == (row[column] is None)
+                if row[level] is not None:
+                    assert row[level] >= 0.0
             assert row["selected_paths"] is not None and row["selected_paths"] > 0
+
+    def test_sweep_counters_are_deterministic(self):
+        """Two back-to-back sweeps agree byte-for-byte on the counter view."""
+        instances = table2.default_instances("tiny")
+        first = table2.run(instances=instances)
+        second = table2.run(instances=instances)
+        assert first.deterministic_rows() == second.deterministic_rows()
+        assert set(first.metadata["informational_columns"]) == {
+            "strawman",
+            "decomposition",
+            "lazy_update",
+            "symmetry",
+        }

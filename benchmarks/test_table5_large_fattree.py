@@ -33,3 +33,12 @@ class TestTable5Harness:
         assert accuracies[-1] >= accuracies[0] - 15.0
         for row in table.rows:
             assert row["accuracy_pct"] + row["false_negative_pct"] == pytest.approx(100.0, abs=1e-6)
+        # The construction step reports its deterministic work profile (a
+        # counter gate, not a timing one): with decomposition + lazy updates
+        # on (the defaults), the lazy greedy's evaluations must stay far
+        # below the strawman bound of one full rescore per iteration.
+        counters = table.metadata["pmc_cost_counters"]
+        assert counters["greedy_evaluations"] > 0
+        assert counters["greedy_iterations"] == table.metadata["pmc_selected_paths"]
+        strawman_bound = counters["greedy_iterations"] * table.metadata["pmc_candidate_paths"]
+        assert counters["greedy_evaluations"] < strawman_bound

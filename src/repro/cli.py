@@ -141,6 +141,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="with 'all': suite scale (quick ~ minutes, full ~ tens of minutes)",
     )
+    experiment.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with 'all': run experiments in N worker processes (results are "
+        "identical to --jobs 1; only wall-clock time changes)",
+    )
+    experiment.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="with 'all': root seed; per-experiment seeds are derived from it "
+        "through named SeededStreams streams",
+    )
     return parser
 
 
@@ -400,7 +415,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     if args.name == "all":
-        run_all(default_suite(args.scale), output_dir=args.output_dir)
+        run_all(
+            default_suite(args.scale),
+            output_dir=args.output_dir,
+            jobs=args.jobs,
+            seed=args.seed,
+        )
         return 0
 
     modules = {

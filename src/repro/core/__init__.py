@@ -1,5 +1,6 @@
 """deTector's primary contribution: probe-matrix construction and its building blocks."""
 
+from .costmodel import CostModel, KernelCounters
 from .decomposition import Subproblem, decompose_by_link_sets, decompose_routing_matrix
 from .incidence import Backend, IncidenceIndex, RefinablePartition, RowProjection, resolve_backend
 from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap
@@ -31,6 +32,8 @@ __all__ = [
     "construct_probe_matrix_masked",
     "pmc_for_topology",
     "Backend",
+    "CostModel",
+    "KernelCounters",
     "IncidenceIndex",
     "RefinablePartition",
     "RowProjection",

@@ -51,6 +51,8 @@ try:  # numpy is the default backend but never a hard requirement
 except ImportError:  # pragma: no cover - the CI image always has numpy
     _np = None
 
+from .costmodel import KernelCounters
+
 __all__ = [
     "Backend",
     "resolve_backend",
@@ -260,9 +262,14 @@ class IncidenceIndex:
         path_link_sets: Sequence[Iterable[int]],
         link_universe: Sequence[int],
         backend: Optional[Union[str, Backend]] = None,
+        counters: Optional[KernelCounters] = None,
     ):
         self._backend = resolve_backend(backend)
         self.kernels = _kernels_for(self._backend)
+        # Semantic kernel-invocation counters (see repro.core.costmodel):
+        # ticked once per kernel *question*, never per backend micro-op, so
+        # values are byte-identical across numpy/python backends.
+        self.counters = counters if counters is not None else KernelCounters()
         self._link_ids: Tuple[int, ...] = tuple(link_universe)
         self._pos: Dict[int, int] = {link: col for col, link in enumerate(self._link_ids)}
 
@@ -379,6 +386,7 @@ class IncidenceIndex:
     # --------------------------------------------------------------- kernels
     def coverage_counts(self):
         """Per-column path counts (the coverage histogram, as a vector)."""
+        self.counters.tick("coverage_counts", self.num_links)
         if self._backend is Backend.NUMPY:
             return _np.diff(self._col_indptr)
         return [
@@ -397,6 +405,7 @@ class IncidenceIndex:
     def rows_touching_links(self, link_ids: Iterable[int]) -> List[int]:
         """Sorted rows crossing at least one of the links (a loss syndrome)."""
         cols = [self._pos[l] for l in link_ids if l in self._pos]
+        self.counters.tick("rows_touching_links", len(cols))
         if not cols:
             return []
         if self._backend is Backend.NUMPY:
@@ -415,6 +424,7 @@ class IncidenceIndex:
         mask yields every link's lossy count, with the observed-path mask its
         total count.
         """
+        self.counters.tick("masked_col_counts", self.nnz)
         if self._backend is Backend.NUMPY:
             if self._entry_rows is None:
                 self._entry_rows = _np.repeat(
@@ -439,6 +449,7 @@ class IncidenceIndex:
         into.  All inputs are exact integers, so both backends agree bit for
         bit.
         """
+        self.counters.tick("weighted_col_counts", self.nnz)
         if self._backend is Backend.NUMPY:
             if self._entry_rows is None:
                 self._entry_rows = _np.repeat(
@@ -474,6 +485,7 @@ class IncidenceIndex:
         ignored, as are already-masked ids -- apply/revert therefore compose
         like set operations.
         """
+        self.counters.tick("apply_link_mask")
         newly = []
         for link_id in link_ids:
             col = self._pos.get(link_id)
@@ -486,6 +498,7 @@ class IncidenceIndex:
 
     def revert_link_mask(self, link_ids: Iterable[int]) -> Tuple[int, ...]:
         """Unmask links (recovered in the current delta); returns the ids unmasked."""
+        self.counters.tick("revert_link_mask")
         reverted = []
         for link_id in link_ids:
             col = self._pos.get(link_id)
@@ -564,6 +577,9 @@ class IncidenceIndex:
         When ``rows`` is given, only those paths are considered (PLL
         decomposes over the observed rows only).
         """
+        self.counters.tick(
+            "components", len(rows) if rows is not None else self._num_paths
+        )
         # The scipy.csgraph path wins once the bipartite graph is large, but
         # its fixed per-call overhead (~coo/csgraph setup) loses on the tiny
         # per-window decompositions PLL runs; size-gate it.  Both paths return
@@ -837,6 +853,11 @@ class RefinablePartition:
             self._cell_size[0] = num_ids
         self._num_cells = 1 if num_ids else 0
         self._next_cell_id = 1
+        # Work counters (backend-invariant: the partition evolves identically
+        # on both backends, and so do the greedy's queries against it).
+        self.splits_performed = 0
+        self.cells_created = 0
+        self.gain_queries = 0
 
     @property
     def num_ids(self) -> int:
@@ -892,6 +913,7 @@ class RefinablePartition:
 
     def splits_gained(self, members) -> int:
         """How many new cells :meth:`split` would create for this member set."""
+        self.gain_queries += 1
         gained = 0
         for cell, inside in self._touched(members):
             if len(inside) < int(self._cell_size[cell]):
@@ -900,6 +922,7 @@ class RefinablePartition:
 
     def split(self, members) -> int:
         """Refine by the member set; return the number of new cells created."""
+        self.splits_performed += 1
         created = 0
         for cell, inside in self._touched(members):
             n_inside = len(inside)
@@ -917,6 +940,7 @@ class RefinablePartition:
             self._cell_size[cell] = cell_size - n_inside
             self._num_cells += 1
             created += 1
+        self.cells_created += created
         return created
 
     def signature(self) -> Dict[int, int]:

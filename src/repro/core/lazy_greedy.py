@@ -35,6 +35,13 @@ class LazyMinHeap(Generic[T]):
     def __init__(self, items: Iterable[Tuple[float, T]] = ()):
         self._heap: List[Tuple[float, int, int, T]] = []
         self._counter = 0
+        # Logical work counters: one *evaluation* per candidate whose score
+        # was (re)computed for a selection decision, one *lazy skip* per pop
+        # that trusted a score cached earlier in the same iteration.  These
+        # count decisions, not kernel work, so they are identical for every
+        # implementation of the same CELF pop sequence (see BatchCELFHeap).
+        self.evaluations = 0
+        self.lazy_skips = 0
         for score, item in items:
             self.push(score, item, stamp=-1)
 
@@ -64,8 +71,10 @@ class LazyMinHeap(Generic[T]):
         while self._heap:
             score, _, stamp, item = heapq.heappop(self._heap)
             if stamp == current_iteration:
+                self.lazy_skips += 1
                 return score, item
             fresh = rescore(item)
+            self.evaluations += 1
             if not self._heap or fresh <= self._heap[0][0]:
                 return fresh, item
             self.push(fresh, item, stamp=current_iteration)
@@ -80,6 +89,7 @@ class LazyMinHeap(Generic[T]):
         """
         if not self._heap:
             return None
+        self.evaluations += len(self._heap)
         rescored = [(rescore(item), counter, stamp, item) for _, counter, stamp, item in self._heap]
         heapq.heapify(rescored)
         best_score, _, _, best_item = heapq.heappop(rescored)
@@ -97,6 +107,7 @@ class LazyMinHeap(Generic[T]):
         """
         if not self._heap:
             return None
+        self.evaluations += len(self._heap)
         fresh = rescore_batch([entry[3] for entry in self._heap])
         rescored = [
             (score, counter, stamp, item)
@@ -141,6 +152,13 @@ class BatchCELFHeap:
     def __init__(self, items: Iterable[Tuple[int, T]] = ()):
         self._items: List[T] = []
         self._stamps: List[int] = []
+        # Logical counters matching LazyMinHeap's exactly: `evaluations`
+        # counts the rescores the *unbatched* replay performs (chunk
+        # overshoot excluded -- overshoot entries are restored with their
+        # stale keys and never influenced a decision), `lazy_skips` the pops
+        # resolved from a score cached earlier in the same iteration.
+        self.evaluations = 0
+        self.lazy_skips = 0
         keys: List[int] = []
         shift = self._SHIFT
         for score, item in items:
@@ -278,14 +296,16 @@ class BatchCELFHeap:
                 break
             # The heap top (stale, unscored) is the global minimum: refill.
 
-        # Materialize: push refreshed-but-unselected entries with their fresh
-        # scores (new counters, relative order preserved), restore overshoot
-        # entries untouched, and hand back the selection.
+        # Logical bookkeeping, mirroring the unbatched loop: entries
+        # 0..limit-1 were rescored-and-pushed-back there (plus the selected
+        # one itself on a "stale" selection); "sim"/"boundary" selections pop
+        # an entry already refreshed this iteration, i.e. a lazy skip.
         sel_j = -1
         if kind == "sim":
             limit = i
             sel_j = best_j
             selected = (best, items[popped_keys[best_j] & mask])
+            self.lazy_skips += 1
         elif kind == "stale":
             limit = i
             selected = (fresh[i], items[popped_keys[i] & mask])
@@ -293,9 +313,11 @@ class BatchCELFHeap:
             limit = n
             selected = (boundary_score, items[boundary_key & mask])
             boundary_key = None
+            self.lazy_skips += 1
         else:
             limit = n
             selected = None
+        self.evaluations += limit + (1 if kind == "stale" else 0)
 
         if limit:
             shift = self._SHIFT

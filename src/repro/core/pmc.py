@@ -47,6 +47,7 @@ except ImportError:  # pragma: no cover - numpy backend is then unavailable
     _np = None
 
 from ..topology import PathOrbits, Topology
+from .costmodel import CostModel
 from .decomposition import Subproblem, decompose_routing_matrix
 from .incidence import Backend, RefinablePartition
 from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap
@@ -125,6 +126,18 @@ class PMCStats:
     candidates: the numpy backend's chunked rescoring scores whole batches at
     a time, so its count includes chunk overshoot and is higher than the
     python backend's for the same (byte-identical) selection sequence.
+
+    ``greedy_evaluations`` is its deterministic sibling: the number of
+    *logical* candidate evaluations the (unbatched) greedy performs -- chunk
+    overshoot excluded -- so it is byte-identical across ``REPRO_BACKEND``
+    backends and machines.  ``lazy_skips`` counts pops resolved from a score
+    cached earlier in the same iteration (the CELF saving),
+    ``partition_splits`` / ``partition_cells_created`` /
+    ``partition_gain_queries`` the §4.2 refinement work.  Together with
+    ``iterations``, ``candidates_discarded``, ``symmetry_batch_selections``
+    and ``subproblems`` they form :meth:`cost_counters`, the machine-
+    independent work profile the benchmark gates assert on (wall-clock
+    ``elapsed_seconds`` is informational only).
     """
 
     iterations: int = 0
@@ -133,6 +146,11 @@ class PMCStats:
     symmetry_batch_selections: int = 0
     subproblems: int = 1
     reused_subproblems: int = 0
+    greedy_evaluations: int = 0
+    lazy_skips: int = 0
+    partition_splits: int = 0
+    partition_cells_created: int = 0
+    partition_gain_queries: int = 0
     elapsed_seconds: float = 0.0
     fully_refined: bool = False
     coverage_satisfied: bool = False
@@ -144,11 +162,36 @@ class PMCStats:
         self.candidates_discarded += other.candidates_discarded
         self.symmetry_batch_selections += other.symmetry_batch_selections
         self.reused_subproblems += other.reused_subproblems
+        self.greedy_evaluations += other.greedy_evaluations
+        self.lazy_skips += other.lazy_skips
+        self.partition_splits += other.partition_splits
+        self.partition_cells_created += other.partition_cells_created
+        self.partition_gain_queries += other.partition_gain_queries
         self.fully_refined = self.fully_refined and other.fully_refined
         self.coverage_satisfied = self.coverage_satisfied and other.coverage_satisfied
         self.uncoverable_links = tuple(
             sorted(set(self.uncoverable_links) | set(other.uncoverable_links))
         )
+
+    def cost_counters(self) -> Dict[str, int]:
+        """The deterministic work profile of this run as a :class:`CostModel` dict.
+
+        Every value is an exact integer, byte-identical across backends and
+        machines; ``elapsed_seconds`` and ``candidates_scored`` (which count
+        wall time and physical batch work) are deliberately excluded.
+        """
+        model = CostModel()
+        model.add("greedy_iterations", self.iterations)
+        model.add("greedy_evaluations", self.greedy_evaluations)
+        model.add("lazy_skips", self.lazy_skips)
+        model.add("candidates_discarded", self.candidates_discarded)
+        model.add("partition_splits", self.partition_splits)
+        model.add("partition_cells_created", self.partition_cells_created)
+        model.add("partition_gain_queries", self.partition_gain_queries)
+        model.add("symmetry_batch_selections", self.symmetry_batch_selections)
+        model.add("subproblems", self.subproblems)
+        model.add("reused_subproblems", self.reused_subproblems)
+        return model.as_dict()
 
 
 @dataclass
@@ -574,6 +617,11 @@ def _solve_subproblem(
 
     stats.fully_refined = partition.fully_refined or not identifiability_needed
     stats.coverage_satisfied = under_count == 0
+    stats.greedy_evaluations = heap.evaluations
+    stats.lazy_skips = heap.lazy_skips
+    stats.partition_splits = partition.splits_performed
+    stats.partition_cells_created = partition.cells_created
+    stats.partition_gain_queries = partition.gain_queries
     return selected, stats
 
 

@@ -35,6 +35,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, TYPE_CHECKING
 
+from ..core.costmodel import CostModel
 from ..core.incidence import Backend, IncidenceIndex
 from ..localization import ObservationSet
 
@@ -92,11 +93,17 @@ class StreamAggregator:
         window_seconds: float,
         start_time: float = 0.0,
         history_windows: int = 0,
+        cost: Optional[CostModel] = None,
     ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         if history_windows < 0:
             raise ValueError("history_windows must be non-negative")
+        # Deterministic work counters (events folded/rejected, windows
+        # closed, probes aggregated).  A caller-supplied model keeps
+        # accumulating across aggregator rollovers -- the telemetry engine
+        # passes its own so one run's counters survive controller re-arms.
+        self.cost = cost if cost is not None else CostModel()
         self._index = incidence
         self._kernels = incidence.kernels
         self.window_seconds = float(window_seconds)
@@ -144,6 +151,7 @@ class StreamAggregator:
         if time < self._window_start:
             self._rejected += 1
             self.total_rejected += 1
+            self.cost.add("aggregator_events_rejected")
             return False
         if time >= self.window_end:
             raise ValueError(
@@ -158,10 +166,13 @@ class StreamAggregator:
         self._lost[path_index] += lost
         self._probes_sent += sent
         self._probes_lost += lost
+        self.cost.add("aggregator_events_accepted")
+        self.cost.add("aggregator_probes_folded", sent)
         return True
 
     def ingest_report(self, report: "PingerReport", time: float) -> int:
         """Fold a whole legacy pinger report at one timestamp; returns #accepted."""
+        self.cost.add("aggregator_reports_ingested")
         accepted = 0
         for obs in report.observations:
             if self.record(obs.path_index, time, obs.sent, obs.lost):
@@ -207,6 +218,7 @@ class StreamAggregator:
         end = self.window_end if end_time is None else float(end_time)
         if end < self._window_start:
             raise ValueError("window cannot end before it starts")
+        self.cost.add("aggregator_windows_closed")
         link_lost = self.link_loss_counts()
         report = WindowReport(
             index=self._window_index,

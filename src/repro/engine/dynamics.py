@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..simulation.failures import ChurnSchedule, FailureScenario, LinkFailure, LossMode
+from ..simulation.rng import SeededStreams
 from ..topology import Topology, TopologyDelta
 from .loop import EventLoop
 
@@ -231,7 +232,11 @@ class DynamicFaultModel:
     ):
         self.topology = topology
         self.episodes = list(episodes)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Like the engine's probe-jitter stream, the default dwell-time
+        # randomness comes from a named SeededStreams stream rather than a
+        # bare ``default_rng`` (explicit callers pass
+        # ``streams.generator("fault-dynamics")``).
+        self.rng = rng if rng is not None else SeededStreams(0).generator("fault-dynamics")
         self.churn_schedule = churn_schedule
         self.scenario = scenario if scenario is not None else FailureScenario(
             description="dynamic fault model"

@@ -31,11 +31,13 @@ from __future__ import annotations
 
 import math
 import time as _wall
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, TYPE_CHECKING
 
 import numpy as np
 
+from ..core.costmodel import CostModel
+from ..simulation.rng import SeededStreams
 from .aggregator import StreamAggregator, WindowReport
 from .dynamics import DynamicFaultModel
 from .loop import EventLoop, SimClock
@@ -181,6 +183,10 @@ class EngineResult:
     probes_lost: int
     events_processed: int
     wall_seconds: float
+    #: Deterministic work counters of the run (aggregation folds, window
+    #: closes, probe batches): byte-identical across backends and machines
+    #: for a fixed seed, unlike ``wall_seconds`` (informational only).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def probe_events_per_second(self) -> float:
@@ -252,7 +258,11 @@ class TelemetryEngine:
         self.system = system
         self.model = fault_model
         self.config = config or EngineConfig()
-        self._rng = rng if rng is not None else np.random.default_rng(0)
+        # Default randomness flows through SeededStreams like every explicit
+        # caller's does (`streams.generator("probe-jitter")`), never through a
+        # bare ``default_rng`` -- one ``--seed`` governs every draw.
+        self._rng = rng if rng is not None else SeededStreams(0).generator("probe-jitter")
+        self.cost = CostModel()
         self.loop = EventLoop()
         system.watchdog.clock = self.loop.clock
         # The probe simulator reads the model's live scenario on every probe.
@@ -282,6 +292,7 @@ class TelemetryEngine:
             self.config.window_seconds,
             start_time=self.loop.clock.now,
             history_windows=self.config.history_windows,
+            cost=self.cost,  # counters accumulate across controller re-arms
         )
         self._scheduler.set_pingers(self.system.build_pingers())
 
@@ -370,6 +381,11 @@ class TelemetryEngine:
         self.loop.run_until(horizon)
         wall = _wall.perf_counter() - wall_started
 
+        counters = CostModel(self.cost.as_dict())
+        counters.add("probe_batches_fired", self._scheduler.batches_fired)
+        counters.add("probes_sent", self._scheduler.probes_sent)
+        counters.add("probes_lost", self._scheduler.probes_lost)
+        counters.add("events_processed", self.loop.events_processed)
         return EngineResult(
             config=config,
             duration=duration,
@@ -380,6 +396,7 @@ class TelemetryEngine:
             probes_lost=self._scheduler.probes_lost,
             events_processed=self.loop.events_processed,
             wall_seconds=wall,
+            counters=counters.as_dict(),
         )
 
     # ------------------------------------------------------------- snapshot

@@ -10,12 +10,21 @@ measured rows.  Run them as scripts, e.g.::
 
 from . import figure4, figure5, figure6, pll_comparison, table2, table3, table4, table5
 from .common import ExperimentTable
-from .runner import ExperimentRun, ExperimentSuite, default_suite, run_all
+from .runner import (
+    ExperimentRun,
+    ExperimentSpec,
+    ExperimentSuite,
+    default_suite,
+    execute_spec,
+    run_all,
+)
 
 __all__ = [
     "ExperimentTable",
     "ExperimentRun",
+    "ExperimentSpec",
     "ExperimentSuite",
+    "execute_spec",
     "default_suite",
     "run_all",
     "table2",

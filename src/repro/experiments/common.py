@@ -56,12 +56,18 @@ class ExperimentTable:
     notes:
         Free-form caveats (scaling factors, substitutions) printed under the
         table.
+    metadata:
+        Machine-readable side data that is not part of the row grid -- e.g.
+        the deterministic cost counters of a shared setup step (probe-matrix
+        construction).  Not rendered; carried through pickling/the parallel
+        runner so harness gates can assert on it.
     """
 
     title: str
     columns: Sequence[str]
     rows: List[Dict[str, Value]] = field(default_factory=list)
     notes: List[str] = field(default_factory=list)
+    metadata: Dict[str, object] = field(default_factory=dict)
 
     def add_row(self, **values: Value) -> None:
         self.rows.append(dict(values))
@@ -71,6 +77,22 @@ class ExperimentTable:
 
     def column_values(self, column: str) -> List[Value]:
         return [row.get(column) for row in self.rows]
+
+    def deterministic_rows(self) -> List[Dict[str, Value]]:
+        """Rows minus the columns declared informational in the metadata.
+
+        Harnesses that time things list those wall-clock columns under
+        ``metadata["informational_columns"]``; everything else is a pure
+        function of the inputs, so two runs of the same experiment (serial or
+        parallel, any backend) must agree on this view byte for byte.
+        """
+        drop = set(self.metadata.get("informational_columns", ()))
+        if not drop:
+            return [dict(row) for row in self.rows]
+        return [
+            {key: value for key, value in row.items() if key not in drop}
+            for row in self.rows
+        ]
 
     # -------------------------------------------------------------- rendering
     def render(self) -> str:

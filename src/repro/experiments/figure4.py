@@ -26,6 +26,7 @@ from ..simulation import (
     FailureGenerator,
     LatencyModel,
     PingerResourceModel,
+    SeededStreams,
     WorkloadConfig,
     WorkloadModel,
 )
@@ -63,13 +64,17 @@ def run(
 
     resource_model = PingerResourceModel()
     latency_model = LatencyModel()
-    workload_rng = np.random.default_rng(seed + 1)
+    # One --seed, independent named streams (no ad-hoc seed+k derivations):
+    # every frequency replays identical probing/failure draws because
+    # ``generator(name)`` always restarts the named stream at its origin.
+    streams = SeededStreams(seed)
+    workload_rng = streams.generator("workload")
     workload_paths = enumerate_candidate_paths(topology, ordered=False)
     workload = WorkloadModel(topology, workload_paths, workload_rng, WorkloadConfig())
     base_utilization = workload.link_utilization()
 
     for frequency in frequencies:
-        rng = np.random.default_rng(seed)
+        rng = streams.generator("probing")
         system = DetectorSystem(
             topology,
             rng,
@@ -100,7 +105,7 @@ def run(
         )
         sample_paths = workload_paths[:: max(1, len(workload_paths) // 50)]
         rtt = latency_model.workload_rtt(
-            sample_paths, utilization, np.random.default_rng(seed + 2)
+            sample_paths, utilization, streams.generator("workload-rtt")
         )
 
         table.add_row(

@@ -62,6 +62,17 @@ class SeededStreams:
         state = self._sequence(name).generate_state(2)
         return random.Random(int(state[0]) << 32 | int(state[1]))
 
+    def spawn_seed(self, name: str) -> int:
+        """A deterministic 64-bit integer seed derived from the named stream.
+
+        For components that take a plain ``seed=`` integer rather than a
+        generator -- e.g. the experiment harnesses the parallel runner ships
+        to worker processes.  Like :meth:`generator`, the value depends only
+        on the root entropy and the name, never on call order.
+        """
+        state = self._sequence(name).generate_state(2)
+        return int(state[0]) << 32 | int(state[1])
+
     def child(self, name: str) -> "SeededStreams":
         """A nested stream family (e.g. one per engine scenario)."""
         child = SeededStreams.__new__(SeededStreams)

@@ -163,6 +163,61 @@ class TestStreamAggregator:
         sliding = agg.sliding_link_loss_counts()
         assert int(sliding[position]) == 3  # open window (1) + history (2)
 
+    def test_event_exactly_at_window_start_accepted(self, fattree4_probe_matrix):
+        """The window interval is [start, end): a timestamp equal to
+        window_start belongs to the open window, not the closed one."""
+        agg = self.make(fattree4_probe_matrix)
+        agg.close_window()  # open window is now exactly [30, 60)
+        assert agg.window_start == 30.0
+        assert agg.record(0, 30.0, sent=2, lost=1) is True
+        report = agg.close_window()
+        assert report.probes_sent == 2 and report.probes_lost == 1
+        assert report.rejected_events == 0
+        assert agg.total_rejected == 0
+
+    def test_event_just_before_window_start_rejected_and_counted(self, fattree4_probe_matrix):
+        agg = self.make(fattree4_probe_matrix)
+        agg.close_window()
+        before = 30.0 - 1e-9
+        assert agg.record(0, before, sent=5, lost=5) is False
+        assert agg.total_rejected == 1
+        report = agg.close_window()
+        # The late event contaminated nothing and shows up in the rejection
+        # counter of the window that was open when it arrived.
+        assert report.probes_sent == 0 and report.probes_lost == 0
+        assert report.rejected_events == 1
+
+    def test_rejection_counters_survive_close_across_consecutive_windows(
+        self, fattree4_probe_matrix
+    ):
+        agg = self.make(fattree4_probe_matrix)
+        agg.close_window()  # window 1: [30, 60)
+        assert agg.record(0, 10.0, sent=1) is False  # late into window 1
+        first = agg.close_window()  # window 2: [60, 90)
+        assert first.rejected_events == 1
+        assert agg.record(0, 59.0, sent=1) is False  # late into window 2
+        assert agg.record(0, 45.0, sent=1) is False
+        second = agg.close_window()
+        # Per-window counts reset at each rollover; the running total never does.
+        assert second.rejected_events == 2
+        assert agg.total_rejected == 3
+        assert agg.close_window().rejected_events == 0
+        assert agg.total_rejected == 3
+        assert agg.cost["aggregator_events_rejected"] == 3
+
+    def test_cost_counters_track_folds_and_windows(self, fattree4_probe_matrix):
+        agg = self.make(fattree4_probe_matrix)
+        agg.record(0, 1.0, sent=10, lost=2)
+        agg.record(1, 2.0, sent=5, lost=0)
+        agg.close_window()
+        agg.record(0, 12.0, sent=1)  # late: the open window is [30, 60)
+        agg.close_window()
+        counters = agg.cost.as_dict()
+        assert counters["aggregator_events_accepted"] == 2
+        assert counters["aggregator_events_rejected"] == 1
+        assert counters["aggregator_probes_folded"] == 15
+        assert counters["aggregator_windows_closed"] == 2
+
     def test_frozen_clock_fold_equals_snapshot_merge(self, fattree4):
         """Counter equivalence: aggregator fold == merge_observations on the
         same pinger reports, and the engine's snapshot window reproduces it."""
@@ -445,6 +500,28 @@ class TestTelemetryEngine:
         # The watchdog logged every applied delta with its simulated timestamp.
         assert [t for t, _ in system.watchdog.delta_log] == [c.time for c in result.cycles]
         assert [c.time for c in result.cycles] == [30.0, 60.0, 90.0]
+
+    def test_run_reports_deterministic_cost_counters(self, fattree4):
+        def counters(seed):
+            system, streams = build_system(fattree4, seed=seed)
+            model = DynamicFaultModel(
+                fattree4,
+                episodes=[FlappingLink(link_id=6, start_time=10.0)],
+                rng=streams.generator("fault-dynamics"),
+            )
+            engine = TelemetryEngine(
+                system, model, EngineConfig(window_seconds=30.0, cycle_seconds=60.0),
+                rng=streams.generator("probe-jitter"),
+            )
+            return engine.run(60.0).counters
+
+        first = counters(11)
+        assert first == counters(11)  # byte-identical replay for a fixed seed
+        assert first["aggregator_windows_closed"] == 2
+        assert first["probes_sent"] > 0
+        assert first["aggregator_probes_folded"] == first["probes_sent"]
+        assert first["probe_batches_fired"] > 0
+        assert first["events_processed"] > 0
 
     def test_probe_rate_controls_volume(self, fattree4):
         def probes(rate):

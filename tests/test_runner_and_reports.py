@@ -6,9 +6,16 @@ import numpy as np
 import pytest
 
 from repro.baselines import BaselineConfig, NetNORADSystem, PingmeshSystem
-from repro.experiments import ExperimentSuite, ExperimentTable, default_suite, run_all
+from repro.experiments import (
+    ExperimentSpec,
+    ExperimentSuite,
+    ExperimentTable,
+    default_suite,
+    execute_spec,
+    run_all,
+)
 from repro.monitor import ControllerConfig
-from repro.simulation import FailureScenario
+from repro.simulation import FailureScenario, SeededStreams
 from repro.topology import build_fattree
 
 
@@ -68,6 +75,10 @@ class TestRunner:
         assert (tmp_path / "first.csv").exists()
         assert (tmp_path / "second.txt").exists()
 
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_all(self.tiny_suite(), jobs=0, verbose=False)
+
     def test_default_suite_names_cover_all_artifacts(self):
         names = set(default_suite("quick").names())
         assert {
@@ -83,6 +94,73 @@ class TestRunner:
         assert set(default_suite("full").names()) == names
         with pytest.raises(ValueError):
             default_suite("enormous")
+
+    def test_default_suite_entries_are_picklable_specs(self):
+        import pickle
+
+        for suite_scale in ("quick", "full"):
+            for entry in default_suite(suite_scale).experiments.values():
+                assert isinstance(entry, ExperimentSpec)
+                pickle.loads(pickle.dumps(entry))
+
+
+class TestParallelRunner:
+    def spec_suite(self):
+        suite = ExperimentSuite(name="spec-tiny")
+        suite.add_spec("t2", "table2", scale="tiny")
+        suite.add_spec("fig6", "figure6", radix=4, trials=2, failure_counts=(1,))
+        return suite
+
+    def test_execute_spec_rejects_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            execute_spec(ExperimentSpec(experiment="table99"))
+
+    def test_parallel_matches_serial_byte_for_byte(self):
+        """The acceptance gate: a --jobs N sweep yields the same tables as a
+        serial one on the deterministic view (timing cells are informational)."""
+        serial = run_all(self.spec_suite(), jobs=1, seed=123, verbose=False)
+        parallel = run_all(self.spec_suite(), jobs=2, seed=123, verbose=False)
+        assert [r.name for r in serial] == [r.name for r in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.table.deterministic_rows() == b.table.deterministic_rows()
+            assert a.table.notes == b.table.notes
+            assert a.table.metadata == b.table.metadata
+
+    def test_parallel_runs_legacy_callables_in_parent(self):
+        suite = self.spec_suite()
+        state = {"ran_in": None}
+
+        def local_runner():
+            import os
+
+            state["ran_in"] = os.getpid()
+            table = ExperimentTable(title="local", columns=["x"])
+            table.add_row(x=1)
+            return table
+
+        suite.add("local", local_runner)
+        import os
+
+        runs = run_all(suite, jobs=2, verbose=False)
+        assert [r.name for r in runs] == ["t2", "fig6", "local"]
+        assert state["ran_in"] == os.getpid()  # closures cannot cross the pool
+
+    def test_seed_derivation_is_order_independent(self):
+        """Per-experiment seeds depend on (root seed, name) only, so results
+        do not change when the suite is filtered or reordered."""
+        full = run_all(self.spec_suite(), jobs=1, seed=99, verbose=False)
+        only_fig6 = run_all(
+            self.spec_suite(), only=["fig6"], jobs=1, seed=99, verbose=False
+        )
+        by_name = {r.name: r for r in full}
+        assert by_name["fig6"].table.rows == only_fig6[0].table.rows
+        # And the derivation is the documented SeededStreams.spawn_seed.
+        assert SeededStreams(99).spawn_seed("fig6") == SeededStreams(99).spawn_seed("fig6")
+
+    def test_seeded_sweep_differs_from_other_seed(self):
+        a = run_all(self.spec_suite(), only=["fig6"], jobs=1, seed=1, verbose=False)
+        b = run_all(self.spec_suite(), only=["fig6"], jobs=1, seed=2, verbose=False)
+        assert a[0].table.rows != b[0].table.rows
 
 
 class TestBaselineBudgetCap:
