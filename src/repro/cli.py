@@ -81,38 +81,21 @@ def build_parser() -> argparse.ArgumentParser:
     engine_run = engine_sub.add_parser(
         "run", help="simulate a fault scenario and report detection latency"
     )
-    engine_run.add_argument("--k", type=int, default=4, help="Fattree radix (default 4)")
-    engine_run.add_argument(
-        "--scenario",
-        choices=["flapping", "congestion", "gray", "switch-outage", "static"],
-        default="flapping",
-        help="fault dynamics to inject (default flapping)",
-    )
+    _add_engine_arguments(engine_run)
     engine_run.add_argument("--duration", type=float, default=300.0, help="simulated seconds")
-    engine_run.add_argument("--links", type=int, default=1, help="number of faulty links")
-    engine_run.add_argument("--alpha", type=int, default=3)
-    engine_run.add_argument("--beta", type=int, default=1)
-    engine_run.add_argument("--window-seconds", type=float, default=30.0)
-    engine_run.add_argument("--cycle-seconds", type=float, default=300.0)
-    engine_run.add_argument(
-        "--probe-rate", type=float, default=None, help="per-pinger probes/s (default: pinglist rate)"
+    engine_serve = engine_sub.add_parser(
+        "serve",
+        help="stream aggregation windows continuously (long-running serve mode)",
     )
-    engine_run.add_argument("--jitter", type=float, default=0.1, help="probe interval jitter fraction")
-    engine_run.add_argument(
-        "--flap-half-life", type=float, default=45.0, help="up/down state half-life (flapping)"
+    _add_engine_arguments(engine_serve)
+    engine_serve.add_argument(
+        "--duration", type=float, default=None,
+        help="simulated seconds to serve (default: unbounded)",
     )
-    engine_run.add_argument(
-        "--congestion-loss-rate", type=float, default=0.05, help="loss rate during congestion"
+    engine_serve.add_argument(
+        "--windows", type=int, default=None, metavar="N",
+        help="stop after N windows (default: unbounded; Ctrl-C to stop)",
     )
-    engine_run.add_argument(
-        "--churn", type=float, default=0.0, metavar="MEAN",
-        help="mean known-churn events replayed into the watchdog per controller cycle",
-    )
-    engine_run.add_argument(
-        "--full-rebuilds", action="store_true",
-        help="run full controller rebuilds instead of incremental cycles",
-    )
-    engine_run.add_argument("--seed", type=int, default=2017)
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure of the paper")
     experiment.add_argument(
@@ -157,6 +140,57 @@ def build_parser() -> argparse.ArgumentParser:
         "through named SeededStreams streams",
     )
     return parser
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    """Arguments shared by ``engine run`` and ``engine serve``."""
+    parser.add_argument("--k", type=int, default=4, help="Fattree radix (default 4)")
+    parser.add_argument(
+        "--scenario",
+        choices=["flapping", "congestion", "gray", "switch-outage", "static"],
+        default="flapping",
+        help="fault dynamics to inject (default flapping)",
+    )
+    parser.add_argument("--links", type=int, default=1, help="number of faulty links")
+    parser.add_argument("--alpha", type=int, default=3)
+    parser.add_argument("--beta", type=int, default=1)
+    parser.add_argument("--window-seconds", type=float, default=30.0)
+    parser.add_argument("--cycle-seconds", type=float, default=300.0)
+    parser.add_argument(
+        "--probe-rate", type=float, default=None, help="per-pinger probes/s (default: pinglist rate)"
+    )
+    parser.add_argument("--jitter", type=float, default=0.1, help="probe interval jitter fraction")
+    parser.add_argument(
+        "--flap-half-life", type=float, default=45.0, help="up/down state half-life (flapping)"
+    )
+    parser.add_argument(
+        "--congestion-loss-rate", type=float, default=0.05, help="loss rate during congestion"
+    )
+    parser.add_argument(
+        "--churn", type=float, default=0.0, metavar="MEAN",
+        help="mean known-churn events replayed into the watchdog per controller cycle",
+    )
+    parser.add_argument(
+        "--full-rebuilds", action="store_true",
+        help="run full controller rebuilds instead of incremental cycles",
+    )
+    parser.add_argument(
+        "--no-batch", action="store_true",
+        help="disable coalesced (batched) probe-event scheduling",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1,
+        help="aggregator shard count (window reports are invariant in this)",
+    )
+    parser.add_argument(
+        "--coalesce-horizon", type=float, default=10.0, metavar="SECONDS",
+        help="max simulated time one coalesced drain may span",
+    )
+    parser.add_argument(
+        "--bulk-threshold", type=int, default=64, metavar="ROWS",
+        help="min probe-batch rows per drain before the columnar kernel engages",
+    )
+    parser.add_argument("--seed", type=int, default=2017)
 
 
 def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
@@ -287,6 +321,11 @@ def _build_engine_episodes(args: argparse.Namespace, topology, streams):
     links = [link.link_id for link in topology.switch_links]
     chosen = [int(links[i]) for i in picker.choice(len(links), size=args.links, replace=False)]
     start = args.window_seconds  # let one clean window establish the baseline
+    # Fixed-length episodes need a horizon; an unbounded serve run sizes them
+    # off the cycle length instead.
+    duration = args.duration
+    if duration is None:
+        duration = 10.0 * max(args.cycle_seconds, args.window_seconds)
 
     if args.scenario == "flapping":
         return [
@@ -303,7 +342,7 @@ def _build_engine_episodes(args: argparse.Namespace, topology, streams):
             CongestionEpisode(
                 link_id=link,
                 start_time=start,
-                duration_seconds=max(args.duration - 2 * start, args.window_seconds),
+                duration_seconds=max(duration - 2 * start, args.window_seconds),
                 loss_rate=args.congestion_loss_rate,
             )
             for link in chosen
@@ -320,7 +359,7 @@ def _build_engine_episodes(args: argparse.Namespace, topology, streams):
             SwitchOutage(
                 switch_name=switch,
                 start_time=start,
-                duration_seconds=max(args.duration - 2 * start, args.window_seconds),
+                duration_seconds=max(duration - 2 * start, args.window_seconds),
             )
         ], None
     # static: a frozen scenario active from t=0, no dynamics.
@@ -332,7 +371,8 @@ def _build_engine_episodes(args: argparse.Namespace, topology, streams):
     return [], scenario
 
 
-def _cmd_engine(args: argparse.Namespace) -> int:
+def _build_engine(args: argparse.Namespace):
+    """Build the (topology, engine) pair shared by ``run`` and ``serve``."""
     from repro import build_fattree
     from repro.engine import DynamicFaultModel, EngineConfig, TelemetryEngine
     from repro.monitor import ControllerConfig, DetectorSystem
@@ -352,10 +392,15 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         probes_per_second=args.probe_rate,
         jitter_fraction=args.jitter,
         incremental_cycles=not args.full_rebuilds,
+        batched_scheduling=not args.no_batch,
+        aggregator_shards=args.shards,
+        coalesce_horizon_seconds=args.coalesce_horizon,
+        bulk_batch_threshold=args.bulk_threshold,
     )
     churn_schedule = None
     if args.churn > 0:
-        num_cycles = max(1, int(args.duration // args.cycle_seconds))
+        horizon = args.duration if args.duration else 10.0 * args.cycle_seconds
+        num_cycles = max(1, int(horizon // args.cycle_seconds))
         churn_schedule = ChurnSchedule.generate(
             topology,
             streams.generator("churn"),
@@ -373,6 +418,54 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             churn_schedule=churn_schedule,
         )
     engine = TelemetryEngine(system, model, config, rng=streams.generator("probe-jitter"))
+    return topology, engine
+
+
+def _cmd_engine_serve(args: argparse.Namespace) -> int:
+    topology, engine = _build_engine(args)
+    bound = f"{args.windows} windows" if args.windows else (
+        f"{args.duration:.0f} s" if args.duration else "unbounded"
+    )
+    print(f"engine serve: {args.scenario} on {topology.name} ({bound}); Ctrl-C to stop")
+    served = 0
+    probes = 0
+    lost = 0
+    rejected = 0
+    wall = 0.0
+    control_wall = 0.0
+    try:
+        for window in engine.serve(max_windows=args.windows, duration=args.duration):
+            served += 1
+            probes += window.probes_sent
+            lost += window.probes_lost
+            rejected += window.rejected_events
+            wall += window.wall_seconds
+            control_wall += window.control_wall_seconds
+            report = window.report
+            suspects = list(window.window.diagnosis.suspected_links)
+            print(
+                f"  window {report.index:>4} [{report.start:>8.1f}s, {report.end:>8.1f}s) "
+                f"probes={window.probes_sent:>8} lost={window.probes_lost:>6} "
+                f"late={window.rejected_events} "
+                f"rate={window.probe_events_per_second:>12,.0f}/s "
+                f"x{window.realtime_factor:,.0f} realtime "
+                f"suspects={suspects if suspects else '[]'}"
+            )
+    except KeyboardInterrupt:  # pragma: no cover - interactive escape hatch
+        print("  ... interrupted")
+    streaming_wall = max(wall - control_wall, 0.0)
+    rate = probes / streaming_wall if streaming_wall > 0 else 0.0
+    print(
+        f"served {served} windows: {probes} probes ({lost} lost, {rejected} late), "
+        f"wall {wall:.3f}s ({control_wall:.3f}s control), {rate:,.0f} probe events/s"
+    )
+    return 0
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    if args.engine_command == "serve":
+        return _cmd_engine_serve(args)
+    topology, engine = _build_engine(args)
     result = engine.run(args.duration)
 
     print(f"engine: {args.scenario} on {topology.name}, {args.duration:.0f} s simulated")

@@ -23,16 +23,19 @@ from .engine import (
     EngineConfig,
     EngineResult,
     EngineWindow,
+    ServedWindow,
     SnapshotWindow,
     TelemetryEngine,
 )
-from .loop import EventHandle, EventLoop, SimClock
+from .loop import BatchEventSource, EventHandle, EventLoop, RecurringEvent, SimClock
 from .probes import ProbeScheduler
 
 __all__ = [
     "SimClock",
     "EventLoop",
     "EventHandle",
+    "RecurringEvent",
+    "BatchEventSource",
     "ProbeScheduler",
     "StreamAggregator",
     "WindowReport",
@@ -48,6 +51,7 @@ __all__ = [
     "CycleRecord",
     "EngineWindow",
     "EngineResult",
+    "ServedWindow",
     "SnapshotWindow",
     "TelemetryEngine",
 ]

@@ -27,6 +27,18 @@ Window semantics:
 On a frozen clock with every event at the window start, one fold plus one
 :meth:`close_window` reproduces the merged observation set of the legacy
 snapshot path exactly (tested in ``tests/test_engine.py``).
+
+**Sharding.**  With ``num_shards > 1`` the open window's per-path counters
+are split across shards (the serve-mode analogue of running one aggregator
+per pod): each accepted event folds into the shard owning its path, and the
+shards merge deterministically -- in shard order ``0..N-1`` -- when the
+window closes.  Because the per-path counters are plain integer sums and
+the per-link kernels run exactly once on the *merged* arrays, every window
+report, observation set, and kernel-invocation counter is invariant in the
+shard count (tested in ``tests/test_engine_streaming.py``).
+:meth:`record_batch` folds whole columnar outcome batches from the
+coalescing probe tier with the same acceptance semantics and cost-counter
+totals as the equivalent sequence of :meth:`record` calls.
 """
 
 from __future__ import annotations
@@ -34,6 +46,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from typing import Deque, List, Optional, Sequence, TYPE_CHECKING
+
+import numpy as np
 
 from ..core.costmodel import CostModel
 from ..core.incidence import Backend, IncidenceIndex
@@ -94,11 +108,15 @@ class StreamAggregator:
         start_time: float = 0.0,
         history_windows: int = 0,
         cost: Optional[CostModel] = None,
+        num_shards: int = 1,
+        shard_of_path: Optional[Sequence[int]] = None,
     ):
         if window_seconds <= 0:
             raise ValueError("window_seconds must be positive")
         if history_windows < 0:
             raise ValueError("history_windows must be non-negative")
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
         # Deterministic work counters (events folded/rejected, windows
         # closed, probes aggregated).  A caller-supplied model keeps
         # accumulating across aggregator rollovers -- the telemetry engine
@@ -107,16 +125,61 @@ class StreamAggregator:
         self._index = incidence
         self._kernels = incidence.kernels
         self.window_seconds = float(window_seconds)
+        self.num_shards = num_shards
+        if num_shards > 1:
+            if shard_of_path is None:
+                # Default assignment: contiguous round-robin over paths.
+                shard_of_path = [i % num_shards for i in range(incidence.num_paths)]
+            if len(shard_of_path) != incidence.num_paths:
+                raise ValueError("shard_of_path must assign every path a shard")
+            self._shard_of = np.asarray(shard_of_path, dtype=np.int64)
+            if len(self._shard_of) and (
+                int(self._shard_of.min()) < 0 or int(self._shard_of.max()) >= num_shards
+            ):
+                raise ValueError("shard_of_path values must lie in [0, num_shards)")
+        else:
+            self._shard_of = None
         self._window_index = 0
         self._window_start = float(start_time)
-        self._sent = self._kernels.int_zeros(incidence.num_paths)
-        self._lost = self._kernels.int_zeros(incidence.num_paths)
+        self._shard_sent: List = []
+        self._shard_lost: List = []
+        self._reset_counters()
         self._probes_sent = 0
         self._probes_lost = 0
         self._rejected = 0
         self.total_rejected = 0
         self._history: Deque[Sequence[int]] = deque(maxlen=history_windows or None)
         self._history_windows = history_windows
+
+    def _reset_counters(self) -> None:
+        self._shard_sent = [
+            self._kernels.int_zeros(self._index.num_paths) for _ in range(self.num_shards)
+        ]
+        self._shard_lost = [
+            self._kernels.int_zeros(self._index.num_paths) for _ in range(self.num_shards)
+        ]
+
+    # Deterministic shard merge: integer sums folded in shard order 0..N-1.
+    # With one shard this is the shard array itself (no copy).
+    def _merged(self, shards: List):
+        if self.num_shards == 1:
+            return shards[0]
+        if self._index.backend is Backend.NUMPY:
+            total = shards[0].copy()
+            for arr in shards[1:]:
+                total += arr
+            return total
+        total = list(shards[0])
+        for arr in shards[1:]:
+            for i, value in enumerate(arr):
+                total[i] += value
+        return total
+
+    def _merged_sent(self):
+        return self._merged(self._shard_sent)
+
+    def _merged_lost(self):
+        return self._merged(self._shard_lost)
 
     # ------------------------------------------------------------------ state
     @property
@@ -162,13 +225,89 @@ class StreamAggregator:
             raise IndexError(f"path index {path_index} outside the probe matrix")
         if lost > sent:
             raise ValueError("lost exceeds sent")
-        self._sent[path_index] += sent
-        self._lost[path_index] += lost
+        shard = 0 if self._shard_of is None else int(self._shard_of[path_index])
+        self._shard_sent[shard][path_index] += sent
+        self._shard_lost[shard][path_index] += lost
         self._probes_sent += sent
         self._probes_lost += lost
         self.cost.add("aggregator_events_accepted")
         self.cost.add("aggregator_probes_folded", sent)
         return True
+
+    def record_batch(self, path_indices, times, sent, lost) -> int:
+        """Fold a columnar batch of probe outcomes; returns events accepted.
+
+        Semantically identical to calling :meth:`record` once per row (same
+        acceptance/rejection decisions, same raised errors, same cost-counter
+        totals), but the accepted rows fold into the shard counters as
+        ``bincount`` scatter-adds.  On the pure-python backend the batch
+        simply loops the scalar path.
+        """
+        n = len(path_indices)
+        if n == 0:
+            return 0
+        if self._index.backend is not Backend.NUMPY:
+            accepted = 0
+            for i in range(n):
+                if self.record(
+                    int(path_indices[i]), float(times[i]), int(sent[i]), int(lost[i])
+                ):
+                    accepted += 1
+            return accepted
+        path_indices = np.asarray(path_indices, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        sent = np.asarray(sent, dtype=np.int64)
+        lost = np.asarray(lost, dtype=np.int64)
+        future = times >= self.window_end
+        if future.any():
+            bad = float(times[future][0])
+            raise ValueError(
+                f"event at t={bad} belongs to a later window than "
+                f"[{self._window_start}, {self.window_end}); close the window first"
+            )
+        num_paths = self._index.num_paths
+        if ((path_indices < 0) | (path_indices >= num_paths)).any():
+            bad_path = int(path_indices[(path_indices < 0) | (path_indices >= num_paths)][0])
+            raise IndexError(f"path index {bad_path} outside the probe matrix")
+        if (lost > sent).any():
+            raise ValueError("lost exceeds sent")
+        late = times < self._window_start
+        num_late = int(late.sum())
+        if num_late:
+            self._rejected += num_late
+            self.total_rejected += num_late
+            self.cost.add("aggregator_events_rejected", num_late)
+            keep = ~late
+            path_indices = path_indices[keep]
+            sent = sent[keep]
+            lost = lost[keep]
+        accepted = n - num_late
+        if accepted == 0:
+            return 0
+        if self._shard_of is None:
+            self._fold(0, path_indices, sent, lost, num_paths)
+        else:
+            shard_ids = self._shard_of[path_indices]
+            for shard in range(self.num_shards):
+                mask = shard_ids == shard
+                if mask.any():
+                    self._fold(shard, path_indices[mask], sent[mask], lost[mask], num_paths)
+        total_sent = int(sent.sum())
+        self._probes_sent += total_sent
+        self._probes_lost += int(lost.sum())
+        self.cost.add("aggregator_events_accepted", accepted)
+        self.cost.add("aggregator_probes_folded", total_sent)
+        return accepted
+
+    def _fold(self, shard: int, idx, sent, lost, num_paths: int) -> None:
+        # bincount-with-weights returns float64; the sums are exact well past
+        # any realistic probe volume (2**53), so the int64 cast is lossless.
+        self._shard_sent[shard] += np.bincount(
+            idx, weights=sent, minlength=num_paths
+        ).astype(np.int64)
+        self._shard_lost[shard] += np.bincount(
+            idx, weights=lost, minlength=num_paths
+        ).astype(np.int64)
 
     def ingest_report(self, report: "PingerReport", time: float) -> int:
         """Fold a whole legacy pinger report at one timestamp; returns #accepted."""
@@ -180,18 +319,21 @@ class StreamAggregator:
         return accepted
 
     # ------------------------------------------------------------ link kernels
+    # Each kernel runs exactly once on the *merged* per-path arrays, so the
+    # kernel-invocation counters are invariant in the shard count.
     def _lossy_mask(self):
+        lost = self._merged_lost()
         if self._index.backend is Backend.NUMPY:
-            return self._lost > 0
-        return [count > 0 for count in self._lost]
+            return lost > 0
+        return [count > 0 for count in lost]
 
     def link_sent_counts(self):
         """Per-link probes sent this window (positional over the universe)."""
-        return self._index.weighted_col_counts(self._sent)
+        return self._index.weighted_col_counts(self._merged_sent())
 
     def link_loss_counts(self):
         """Per-link probes lost this window (positional over the universe)."""
-        return self._index.weighted_col_counts(self._lost)
+        return self._index.weighted_col_counts(self._merged_lost())
 
     def link_lossy_path_counts(self):
         """Per-link count of distinct lossy paths this window."""
@@ -219,26 +361,31 @@ class StreamAggregator:
         if end < self._window_start:
             raise ValueError("window cannot end before it starts")
         self.cost.add("aggregator_windows_closed")
-        link_lost = self.link_loss_counts()
+        merged_sent = self._merged_sent()
+        merged_lost = self._merged_lost()
+        link_lost = self._index.weighted_col_counts(merged_lost)
+        if self._index.backend is Backend.NUMPY:
+            lossy_mask = merged_lost > 0
+        else:
+            lossy_mask = [count > 0 for count in merged_lost]
         report = WindowReport(
             index=self._window_index,
             start=self._window_start,
             end=end,
-            observations=ObservationSet.from_counters(self._sent, self._lost),
+            observations=ObservationSet.from_counters(merged_sent, merged_lost),
             probes_sent=self._probes_sent,
             probes_lost=self._probes_lost,
             rejected_events=self._rejected,
             link_ids=self._index.link_ids,
-            link_sent=self.link_sent_counts(),
+            link_sent=self._index.weighted_col_counts(merged_sent),
             link_lost=link_lost,
-            link_lossy_paths=self.link_lossy_path_counts(),
+            link_lossy_paths=self._index.masked_col_counts(lossy_mask),
         )
         if self._history_windows:
             self._history.append(link_lost)
         self._window_index += 1
         self._window_start = max(end, self.window_end)
-        self._sent = self._kernels.int_zeros(self._index.num_paths)
-        self._lost = self._kernels.int_zeros(self._index.num_paths)
+        self._reset_counters()
         self._probes_sent = 0
         self._probes_lost = 0
         self._rejected = 0

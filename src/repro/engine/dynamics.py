@@ -274,7 +274,7 @@ class DynamicFaultModel:
         wins) but the link stays faulty until *every* holder deactivates.
         """
         now = self._now()
-        self.scenario.failures[link_id] = failure
+        self.scenario.add(failure)
         holds = self._active_holds.get(link_id, 0)
         self._active_holds[link_id] = holds + 1
         if holds == 0:  # the transitions log records actual state changes only
@@ -294,7 +294,7 @@ class DynamicFaultModel:
             return  # another episode still holds the link down
         del self._active_holds[link_id]
         self.transitions.append(FaultTransition(now, link_id, False, kind))
-        self.scenario.failures.pop(link_id, None)
+        self.scenario.remove(link_id)
         intervals = self.fault_intervals.get(link_id)
         if intervals and intervals[-1][1] is None:
             intervals[-1][1] = now

@@ -59,6 +59,7 @@ __all__ = [
     "CycleRecord",
     "EngineWindow",
     "EngineResult",
+    "ServedWindow",
     "SnapshotWindow",
     "TelemetryEngine",
 ]
@@ -91,6 +92,23 @@ class EngineConfig:
         Disable to keep one probe matrix for the whole run (no cycle events).
     history_windows:
         Depth of the aggregator's sliding per-link loss history.
+    batched_scheduling:
+        Coalesce probe firings: the scheduler becomes the loop's batch source
+        and drains every firing falling before the next regular event in one
+        vectorized pass.  Byte-identical to per-event scheduling in every
+        deterministic observable (tested differentially); off reproduces the
+        one-heap-event-per-firing behaviour.
+    aggregator_shards:
+        Number of :class:`~repro.engine.aggregator.StreamAggregator` shards;
+        paths are keyed by the pod of their source node when the topology
+        has pods.  Window reports are invariant in this knob.
+    coalesce_horizon_seconds:
+        Cap on the simulated-time span one coalesced drain may cover (bounds
+        the latency of serve-mode output against huge event-free gaps).
+    bulk_batch_threshold:
+        Minimum probe-batch rows in a drain before the columnar numpy
+        expansion engages; smaller drains take the scalar loop, which is
+        faster below roughly this many rows.
     """
 
     window_seconds: float = 30.0
@@ -101,6 +119,10 @@ class EngineConfig:
     incremental_cycles: bool = True
     run_controller_cycles: bool = True
     history_windows: int = 4
+    batched_scheduling: bool = True
+    aggregator_shards: int = 1
+    coalesce_horizon_seconds: float = 10.0
+    bulk_batch_threshold: int = 64
 
     def __post_init__(self) -> None:
         if self.window_seconds <= 0:
@@ -117,6 +139,12 @@ class EngineConfig:
             raise ValueError("probe_batch_seconds must be positive")
         if self.history_windows < 0:
             raise ValueError("history_windows must be non-negative")
+        if self.aggregator_shards < 1:
+            raise ValueError("aggregator_shards must be at least 1")
+        if self.coalesce_horizon_seconds <= 0:
+            raise ValueError("coalesce_horizon_seconds must be positive")
+        if self.bulk_batch_threshold < 0:
+            raise ValueError("bulk_batch_threshold must be non-negative")
 
 
 @dataclass
@@ -187,11 +215,18 @@ class EngineResult:
     #: closes, probe batches): byte-identical across backends and machines
     #: for a fixed seed, unlike ``wall_seconds`` (informational only).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: Wall-clock spent in the streaming plane: total run wall minus the
+    #: controller cycles' wall.  Cycle latency is a control-plane metric
+    #: reported separately (``cycles[*].wall_seconds``); dividing probes by
+    #: total wall would let one slow re-plan mask the probe path's speed.
+    probe_wall_seconds: float = 0.0
 
     @property
     def probe_events_per_second(self) -> float:
-        """Probe throughput: probes simulated per wall-clock second."""
-        return self.probes_sent / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        """Streaming-plane probe throughput: probes per wall-clock second
+        spent outside controller cycles."""
+        wall = self.probe_wall_seconds if self.probe_wall_seconds > 0 else self.wall_seconds
+        return self.probes_sent / wall if wall > 0 else 0.0
 
     def detection_latencies(self) -> List[float]:
         return [r.detection_latency for r in self.detections if r.detected]
@@ -218,6 +253,7 @@ class EngineResult:
             "probes_lost": self.probes_lost,
             "events_processed": self.events_processed,
             "wall_seconds": round(self.wall_seconds, 4),
+            "probe_wall_seconds": round(self.probe_wall_seconds, 4),
             "probe_events_per_second": round(self.probe_events_per_second, 1),
             "faults": len(self.detections),
             "faults_detected": sum(1 for r in self.detections if r.detected),
@@ -229,6 +265,39 @@ class EngineResult:
                 round(sum(localization) / len(localization), 3) if localization else None
             ),
         }
+
+
+@dataclass
+class ServedWindow:
+    """One window streamed out of :meth:`TelemetryEngine.serve`.
+
+    Counters are *deltas* over this window's span (the serve loop's unit of
+    backpressure accounting), not run totals.
+    """
+
+    window: EngineWindow
+    probes_sent: int
+    probes_lost: int
+    rejected_events: int
+    events_processed: int
+    wall_seconds: float
+    control_wall_seconds: float
+
+    @property
+    def report(self) -> WindowReport:
+        return self.window.report
+
+    @property
+    def probe_events_per_second(self) -> float:
+        """Streaming-plane throughput over this window."""
+        wall = self.wall_seconds - self.control_wall_seconds
+        return self.probes_sent / wall if wall > 0 else 0.0
+
+    @property
+    def realtime_factor(self) -> float:
+        """Simulated seconds served per wall second (>1 means ahead of
+        real time; <1 means the serve loop is falling behind)."""
+        return self.report.duration / self.wall_seconds if self.wall_seconds > 0 else 0.0
 
 
 @dataclass
@@ -274,25 +343,53 @@ class TelemetryEngine:
             probes_per_second=self.config.probes_per_second,
             batch_seconds=self.config.probe_batch_seconds,
             jitter_fraction=self.config.jitter_fraction,
+            coalesce=self.config.batched_scheduling,
+            coalesce_horizon=self.config.coalesce_horizon_seconds,
+            bulk_batch_threshold=self.config.bulk_batch_threshold,
         )
         self._scheduler.sink = self._record_outcome
+        if self.config.batched_scheduling:
+            self._scheduler.sink_batch = self._record_outcome_batch
         self._windows: List[EngineWindow] = []
         self._cycles: List[CycleRecord] = []
         self._records: Dict[int, DetectionRecord] = {}
         self._cycle_index = 0
+        self._control_wall = 0.0
 
     # --------------------------------------------------------------- plumbing
     def _record_outcome(self, path_index: int, time: float, sent: int, lost: int) -> None:
         self._aggregator.record(path_index, time, sent, lost)
 
+    def _record_outcome_batch(self, paths, times, sent, lost) -> None:
+        self._aggregator.record_batch(paths, times, sent, lost)
+
+    def _shard_assignment(self) -> Optional[List[int]]:
+        """Pod-keyed shard of each probe path (source node's pod, when the
+        topology has pods; round-robin otherwise)."""
+        shards = self.config.aggregator_shards
+        if shards <= 1:
+            return None
+        assignment: List[int] = []
+        topology = self.system.topology
+        for i, path in enumerate(self.system.probe_matrix.paths):
+            node = topology.node(path.src)
+            pod = getattr(node, "pod", None)
+            assignment.append(int(pod) % shards if pod is not None else i % shards)
+        return assignment
+
     def _rearm(self) -> None:
         """Point scheduler + aggregator at the current controller cycle."""
+        if self.config.batched_scheduling:
+            # The bulk probing kernel needs the path table primed up front.
+            self.system.simulator.prime_paths(self.system.probe_matrix.paths)
         self._aggregator = StreamAggregator(
             self.system.probe_matrix.incidence,
             self.config.window_seconds,
             start_time=self.loop.clock.now,
             history_windows=self.config.history_windows,
             cost=self.cost,  # counters accumulate across controller re-arms
+            num_shards=self.config.aggregator_shards,
+            shard_of_path=self._shard_assignment(),
         )
         self._scheduler.set_pingers(self.system.build_pingers())
 
@@ -332,6 +429,7 @@ class TelemetryEngine:
         started = _wall.perf_counter()
         cycle = self.system.run_controller_cycle(incremental=self.config.incremental_cycles)
         wall = _wall.perf_counter() - started
+        self._control_wall += wall
         self._cycles.append(
             CycleRecord(
                 time=self.loop.clock.now,
@@ -377,17 +475,25 @@ class TelemetryEngine:
                     break
                 self.loop.schedule_at(at, self._run_controller_cycle, PRIORITY_CYCLE)
 
+        control_before = self._control_wall
         wall_started = _wall.perf_counter()
         self.loop.run_until(horizon)
         wall = _wall.perf_counter() - wall_started
+        control = self._control_wall - control_before
+        return self.build_result(duration, wall, max(wall - control, 0.0))
 
+    def build_result(
+        self, duration: float, wall_seconds: float, probe_wall_seconds: float = 0.0
+    ) -> EngineResult:
+        """Snapshot the engine's timeline into an :class:`EngineResult`
+        (shared by :meth:`run` and serve-mode callers)."""
         counters = CostModel(self.cost.as_dict())
         counters.add("probe_batches_fired", self._scheduler.batches_fired)
         counters.add("probes_sent", self._scheduler.probes_sent)
         counters.add("probes_lost", self._scheduler.probes_lost)
         counters.add("events_processed", self.loop.events_processed)
         return EngineResult(
-            config=config,
+            config=self.config,
             duration=duration,
             windows=list(self._windows),
             cycles=list(self._cycles),
@@ -395,8 +501,99 @@ class TelemetryEngine:
             probes_sent=self._scheduler.probes_sent,
             probes_lost=self._scheduler.probes_lost,
             events_processed=self.loop.events_processed,
-            wall_seconds=wall,
+            wall_seconds=wall_seconds,
             counters=counters.as_dict(),
+            probe_wall_seconds=probe_wall_seconds,
+        )
+
+    # ------------------------------------------------------------------ serve
+    def serve(
+        self,
+        max_windows: Optional[int] = None,
+        duration: Optional[float] = None,
+    ):
+        """Stream closed windows as they happen (the long-running serve mode).
+
+        A generator of :class:`ServedWindow`: each ``next()`` advances
+        simulated time to the next window boundary -- probes, fault
+        transitions, and controller cycles all fire on the way, exactly as in
+        :meth:`run` -- and yields that window plus its per-window
+        backpressure deltas (probes folded, events rejected as late, wall
+        spent).  With neither bound the stream is indefinite: windows keep
+        closing until the consumer stops iterating.  ``duration`` bounds the
+        simulated horizon (a trailing partial window closes there, matching
+        :meth:`run`); ``max_windows`` bounds the number of windows yielded.
+        """
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
+        if max_windows is not None and max_windows < 1:
+            raise ValueError("max_windows must be at least 1")
+        config = self.config
+        if self.system.cycle is None or self.system.diagnoser is None:
+            self.system.run_controller_cycle(incremental=config.incremental_cycles)
+        start = self.loop.clock.now
+        horizon = None if duration is None else start + duration
+        self._rearm()
+        self.model.install(self.loop, math.inf if horizon is None else horizon)
+
+        if config.run_controller_cycles:
+            # Cycles self-reschedule one ahead on the same fixed grid as
+            # run() (identical float arithmetic, so identical timestamps).
+            def schedule_cycle(k: int) -> None:
+                at = start + k * config.cycle_seconds
+                if horizon is not None and at >= horizon:
+                    return
+
+                def fire() -> None:
+                    self._run_controller_cycle()
+                    schedule_cycle(k + 1)
+
+                self.loop.schedule_at(at, fire, PRIORITY_CYCLE)
+
+            schedule_cycle(1)
+
+        num_windows = None
+        trailing = False
+        if duration is not None:
+            num_windows = int(math.floor(duration / config.window_seconds + 1e-9))
+            trailing = duration - num_windows * config.window_seconds > 1e-9
+
+        served = 0
+        k = 1
+        while max_windows is None or served < max_windows:
+            if num_windows is not None and k > num_windows:
+                if trailing:
+                    yield self._serve_one(horizon, partial=True)
+                break
+            yield self._serve_one(start + k * config.window_seconds)
+            served += 1
+            k += 1
+
+    def _serve_one(self, target: float, partial: bool = False) -> ServedWindow:
+        probes_before = self._scheduler.probes_sent
+        lost_before = self._scheduler.probes_lost
+        events_before = self.loop.events_processed
+        # The shared cost model survives controller re-arms; the aggregator's
+        # own total does not (a mid-window cycle replaces the aggregator).
+        rejected_before = self.cost.get("aggregator_events_rejected")
+        control_before = self._control_wall
+        if partial:
+            self.loop.schedule_at(
+                target, lambda: self._close_window(target), PRIORITY_WINDOW
+            )
+        else:
+            self.loop.schedule_at(target, self._close_window, PRIORITY_WINDOW)
+        started = _wall.perf_counter()
+        self.loop.run_until(target)
+        wall = _wall.perf_counter() - started
+        return ServedWindow(
+            window=self._windows[-1],
+            probes_sent=self._scheduler.probes_sent - probes_before,
+            probes_lost=self._scheduler.probes_lost - lost_before,
+            rejected_events=self.cost.get("aggregator_events_rejected") - rejected_before,
+            events_processed=self.loop.events_processed - events_before,
+            wall_seconds=wall,
+            control_wall_seconds=self._control_wall - control_before,
         )
 
     # ------------------------------------------------------------- snapshot

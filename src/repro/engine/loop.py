@@ -12,15 +12,31 @@ A *frozen* clock turns the loop into a zero-duration executor: events may be
 scheduled and run at the current instant but any attempt to advance time
 raises.  The legacy snapshot pipeline (``DetectorSystem.run_window``) runs as
 exactly that -- a one-tick engine run on a frozen clock.
+
+Two throughput features serve the streaming engine:
+
+* :meth:`EventLoop.schedule_every` installs a *recurring* event backed by one
+  persistent callable (no per-firing closure allocation); the callback stops
+  the recurrence by returning ``False`` and :meth:`RecurringEvent.cancel`
+  stops it from outside.
+* a *batch source* (:meth:`EventLoop.set_batch_source`) is a coalescing timer
+  tier for homogeneous high-rate events (the probe streams).  The loop asks
+  it for its next due time and, whenever that precedes every regular heap
+  event, lets it drain **all** firings due before the next regular event in
+  one vectorized pass instead of N heap pops + N callbacks.  Because every
+  regular engine event (fault transition, window close, controller cycle)
+  outranks probes at equal timestamps, draining strictly up to the next
+  regular event preserves the ``(time, priority, sequence)`` ordering
+  contract exactly.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Protocol, Union
 
-__all__ = ["SimClock", "EventHandle", "EventLoop"]
+__all__ = ["SimClock", "EventHandle", "RecurringEvent", "BatchEventSource", "EventLoop"]
 
 
 class SimClock:
@@ -56,19 +72,94 @@ class SimClock:
 class EventHandle:
     """Cancellation token for a scheduled event."""
 
-    __slots__ = ("time", "priority", "_cancelled")
+    __slots__ = ("time", "priority", "_cancelled", "_loop")
 
-    def __init__(self, time: float, priority: int):
+    def __init__(self, time: float, priority: int, loop: Optional["EventLoop"] = None):
         self.time = time
         self.priority = priority
         self._cancelled = False
+        self._loop = loop
 
     @property
     def cancelled(self) -> bool:
         return self._cancelled
 
     def cancel(self) -> None:
+        if self._cancelled:
+            return
         self._cancelled = True
+        if self._loop is not None:
+            self._loop._note_cancelled()
+
+
+class RecurringEvent:
+    """Handle for a :meth:`EventLoop.schedule_every` recurrence.
+
+    One instance -- and one bound ``_fire`` callable -- serves every firing of
+    the recurrence; nothing is allocated per firing.  The recurrence ends when
+    the callback returns ``False`` or :meth:`cancel` is called.
+    """
+
+    __slots__ = ("_loop", "_interval", "_callback", "_priority", "_handle", "_stopped")
+
+    def __init__(
+        self,
+        loop: "EventLoop",
+        interval: Union[float, Callable[[], float]],
+        callback: Callable[[], object],
+        priority: int,
+    ):
+        self._loop = loop
+        self._interval = interval
+        self._callback = callback
+        self._priority = priority
+        self._handle: Optional[EventHandle] = None
+        self._stopped = False
+
+    @property
+    def active(self) -> bool:
+        return not self._stopped
+
+    def cancel(self) -> None:
+        """Stop the recurrence; the pending firing (if any) is dropped."""
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _next_delay(self) -> float:
+        interval = self._interval
+        return float(interval()) if callable(interval) else float(interval)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        if self._callback() is False:
+            self._stopped = True
+            self._handle = None
+            return
+        self._handle = self._loop.schedule_at(
+            self._loop.clock.now + self._next_delay(), self._fire, self._priority
+        )
+
+
+class BatchEventSource(Protocol):
+    """A coalescing tier of homogeneous timed events (duck-typed protocol).
+
+    ``next_time()`` returns the earliest pending firing time (``None`` when
+    idle); ``drain(until, strict=..., limit=...)`` processes every firing with
+    time ``< until`` (``<= until`` when ``strict`` is false), advancing the
+    loop's clock and ``events_processed`` itself, and returns the number of
+    logical firings processed.
+    """
+
+    def next_time(self) -> Optional[float]:  # pragma: no cover - protocol
+        ...
+
+    def drain(
+        self, until: float, strict: bool = False, limit: Optional[int] = None
+    ) -> int:  # pragma: no cover - protocol
+        ...
 
 
 class EventLoop:
@@ -83,6 +174,8 @@ class EventLoop:
         self.clock = clock or SimClock()
         self._heap: List[tuple] = []
         self._sequence = itertools.count()
+        self._cancelled = 0
+        self._batch_source: Optional[BatchEventSource] = None
         self.events_processed = 0
 
     # -------------------------------------------------------------- schedule
@@ -94,7 +187,7 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule an event at {time} before the current time {self.clock.now}"
             )
-        handle = EventHandle(time, priority)
+        handle = EventHandle(time, priority, self)
         heapq.heappush(self._heap, (time, priority, next(self._sequence), handle, callback))
         return handle
 
@@ -106,27 +199,84 @@ class EventLoop:
             raise ValueError("delay must be non-negative")
         return self.schedule_at(self.clock.now + delay, callback, priority)
 
+    def schedule_every(
+        self,
+        interval: Union[float, Callable[[], float]],
+        callback: Callable[[], object],
+        priority: int = 0,
+        first_delay: Optional[float] = None,
+    ) -> RecurringEvent:
+        """Schedule ``callback`` repeatedly, ``interval`` seconds apart.
+
+        ``interval`` may be a number or a zero-argument callable drawn after
+        each firing (jittered recurrences).  ``first_delay`` overrides the
+        delay to the first firing (default: one interval).  The callback stops
+        the recurrence by returning ``False``; one persistent callable backs
+        every firing, so recurring events allocate nothing per firing.
+        """
+        recurring = RecurringEvent(self, interval, callback, priority)
+        delay = first_delay if first_delay is not None else recurring._next_delay()
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        recurring._handle = self.schedule_at(self.clock.now + delay, recurring._fire, priority)
+        return recurring
+
     # ------------------------------------------------------------------ state
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) events still in the heap."""
-        return sum(1 for entry in self._heap if not entry[3].cancelled)
+        """Number of scheduled (non-cancelled) events still in the heap.
+
+        O(1): a live counter tracks cancellations instead of scanning the
+        heap on every call.
+        """
+        return len(self._heap) - self._cancelled
 
     def next_event_time(self) -> Optional[float]:
         self._drop_cancelled()
-        return self._heap[0][0] if self._heap else None
+        regular = self._heap[0][0] if self._heap else None
+        if self._batch_source is not None:
+            batch = self._batch_source.next_time()
+            if batch is not None and (regular is None or batch < regular):
+                return batch
+        return regular
+
+    def set_batch_source(self, source: Optional[BatchEventSource]) -> None:
+        """Install (or clear) the loop's coalescing batch-event tier."""
+        self._batch_source = source
+
+    def _note_cancelled(self) -> None:
+        # Eagerly compact once cancelled entries outnumber live ones: the
+        # generation-invalidated probe streams of each controller cycle must
+        # not linger in the heap until their (far-future) times surface.
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._heap):
+            self._heap = [entry for entry in self._heap if not entry[3].cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled = 0
 
     def _drop_cancelled(self) -> None:
         while self._heap and self._heap[0][3].cancelled:
             heapq.heappop(self._heap)
+            self._cancelled -= 1
 
     # -------------------------------------------------------------------- run
     def step(self) -> bool:
-        """Run the next event; returns ``False`` when the heap is empty."""
+        """Run the next event; returns ``False`` when nothing is pending.
+
+        When the batch source's next firing precedes every regular event it
+        is drained one logical firing at a time, so single-stepping remains
+        exact under coalescing.
+        """
         self._drop_cancelled()
+        regular = self._heap[0][0] if self._heap else None
+        if self._batch_source is not None:
+            batch = self._batch_source.next_time()
+            if batch is not None and (regular is None or batch < regular):
+                return self._batch_source.drain(batch, strict=False, limit=1) > 0
         if not self._heap:
             return False
-        time, _, _, _, callback = heapq.heappop(self._heap)
+        time, _, _, handle, callback = heapq.heappop(self._heap)
+        handle._loop = None  # a later cancel() must not desync the counter
         self.clock.advance(time)
         self.events_processed += 1
         callback()
@@ -138,13 +288,38 @@ class EventLoop:
         The clock is left at ``deadline`` (or its starting point, if later)
         even when the last event fired earlier, so back-to-back ``run_until``
         calls partition simulated time cleanly.
+
+        With a batch source installed, all of its firings falling strictly
+        before the next regular heap event are drained in one pass.  The
+        strict bound is what keeps coalescing exact: probe firings at the
+        *same* timestamp as a fault transition / window close / controller
+        cycle must run after it (higher priority value), against the state
+        that event installs.
         """
         processed = 0
+        source = self._batch_source
         while True:
             self._drop_cancelled()
-            if not self._heap or self._heap[0][0] > deadline:
+            regular = self._heap[0][0] if self._heap else None
+            if source is not None:
+                batch = source.next_time()
+                if (
+                    batch is not None
+                    and batch <= deadline
+                    and (regular is None or batch < regular)
+                ):
+                    if regular is None or regular > deadline:
+                        processed += source.drain(deadline, strict=False)
+                    else:
+                        processed += source.drain(regular, strict=True)
+                    continue
+            if regular is None or regular > deadline:
                 break
-            self.step()
+            time, _, _, handle, callback = heapq.heappop(self._heap)
+            handle._loop = None  # a later cancel() must not desync the counter
+            self.clock.advance(time)
+            self.events_processed += 1
+            callback()
             processed += 1
         if deadline > self.clock.now:
             self.clock.advance(deadline)

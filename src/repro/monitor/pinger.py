@@ -60,6 +60,16 @@ class Pinger:
     def server_name(self) -> str:
         return self.pinglist.pinger_server
 
+    @property
+    def simulator(self) -> ProbeSimulator:
+        """The probe simulator this pinger sends through."""
+        return self._simulator
+
+    @property
+    def confirm_losses(self) -> int:
+        """How many confirmation resends follow each detected loss (§3.1)."""
+        return self._confirm_losses
+
     # -------------------------------------------------------------- probing
     def probes_per_path_per_window(self, window_seconds: Optional[float] = None) -> int:
         """How many probes each owned path receives during one window."""

@@ -122,6 +122,11 @@ class DetectorSystem:
             raise RuntimeError("run_controller_cycle() must be called first")
         return self.cycle.probe_matrix
 
+    @property
+    def simulator(self) -> ProbeSimulator:
+        """The probe simulator every pinger of this system sends through."""
+        return self._simulator
+
     # ----------------------------------------------------------------- window
     def inject_failures(self, scenario: FailureScenario) -> None:
         """Install the failure scenario the next window will experience."""

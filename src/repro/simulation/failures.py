@@ -107,6 +107,10 @@ class FailureScenario:
     failures: Dict[int, LinkFailure] = field(default_factory=dict)
     failed_switches: Tuple[str, ...] = ()
     description: str = ""
+    #: Mutation counter: bumped by :meth:`add` / :meth:`remove` so readers
+    #: (e.g. the probe simulator's dirty-path cache) can detect in-place
+    #: changes without comparing the failure dict.  Excluded from equality.
+    version: int = field(default=0, compare=False, repr=False)
 
     @property
     def bad_link_ids(self) -> List[int]:
@@ -121,6 +125,12 @@ class FailureScenario:
 
     def add(self, failure: LinkFailure) -> None:
         self.failures[failure.link_id] = failure
+        self.version += 1
+
+    def remove(self, link_id: int) -> None:
+        """Clear the failure on a link (no-op when the link is healthy)."""
+        if self.failures.pop(link_id, None) is not None:
+            self.version += 1
 
     @classmethod
     def single_link(

@@ -105,6 +105,12 @@ class ProbeSimulator:
         self._rng = rng
         self._probe_reverse_path = probe_reverse_path
         self.drops_per_link: Dict[int, int] = {}
+        # Bulk-probing state (prime_paths): the probe matrix's path table, a
+        # link -> path-rows reverse index, and a cached dirty-path mask keyed
+        # on the scenario object and its mutation version.
+        self._primed_paths: Optional[List[Path]] = None
+        self._rows_by_link: Dict[int, np.ndarray] = {}
+        self._dirty_cache: Optional[Tuple[FailureScenario, int, np.ndarray]] = None
 
     # ------------------------------------------------------------------ state
     @property
@@ -119,6 +125,86 @@ class ProbeSimulator:
         """Swap the failure scenario (new evaluation minute, same simulator)."""
         self._scenario = scenario
         self.drops_per_link = {}
+        self._dirty_cache = None
+
+    # ------------------------------------------------------------ bulk probing
+    def prime_paths(self, paths: Sequence[Path]) -> None:
+        """Register a probe matrix's path table for :meth:`probe_paths_bulk`.
+
+        Builds a link -> path-rows reverse index once per controller cycle so
+        that scenario changes re-derive the dirty-path mask in time
+        proportional to the *affected* rows, not the whole matrix.
+        """
+        self._primed_paths = list(paths)
+        rows_by_link: Dict[int, List[int]] = {}
+        for row, path in enumerate(self._primed_paths):
+            for link_id in path.link_ids:
+                rows_by_link.setdefault(link_id, []).append(row)
+        self._rows_by_link = {
+            link_id: np.asarray(rows, dtype=np.int64)
+            for link_id, rows in rows_by_link.items()
+        }
+        self._dirty_cache = None
+
+    def _dirty_path_mask(self) -> np.ndarray:
+        """Boolean mask over primed paths: does the path cross a failed link?
+
+        Cached per ``(scenario, scenario.version)``; the fault model bumps the
+        version on every in-place activation/deactivation.
+        """
+        scenario = self._scenario
+        cache = self._dirty_cache
+        if cache is not None and cache[0] is scenario and cache[1] == scenario.version:
+            return cache[2]
+        mask = np.zeros(len(self._primed_paths), dtype=bool)
+        for link_id in scenario.failures:
+            rows = self._rows_by_link.get(link_id)
+            if rows is not None:
+                mask[rows] = True
+        self._dirty_cache = (scenario, scenario.version, mask)
+        return mask
+
+    def probe_paths_bulk(
+        self,
+        path_indices: np.ndarray,
+        counts: np.ndarray,
+        start_sequences: np.ndarray,
+        configs: Sequence[ProbeConfig],
+        config_of: np.ndarray,
+        confirms: Sequence[int],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Probe many ``(path, count)`` rows in one columnar call.
+
+        ``path_indices[i]`` names a primed path receiving ``counts[i]`` probes
+        starting at sequence ``start_sequences[i]``; ``configs[config_of[i]]``
+        and ``confirms[config_of[i]]`` supply the row's probe entropy and
+        loss-confirmation settings (one entry per firing pinger).  Rows whose
+        path crosses no failed link -- the overwhelming majority in steady
+        state -- are answered wholesale as ``(count, 0)`` without consuming
+        any randomness, exactly like :meth:`probe_path_batch`'s early return;
+        dirty rows fall back to that scalar kernel *in row order*, so random
+        draws and per-link drop attribution are byte-identical to issuing the
+        same rows one call at a time.  Returns ``(sent, lost)`` int64 arrays
+        including confirmation resends.
+        """
+        if self._primed_paths is None:
+            raise RuntimeError("prime_paths() must be called before probe_paths_bulk()")
+        counts = np.asarray(counts, dtype=np.int64)
+        sent = counts.copy()
+        lost = np.zeros(len(counts), dtype=np.int64)
+        dirty = self._dirty_path_mask()
+        for i in np.flatnonzero(dirty[path_indices]):
+            firing = int(config_of[i])
+            row_sent, row_lost = self.probe_path_batch(
+                self._primed_paths[int(path_indices[i])],
+                configs[firing],
+                int(counts[i]),
+                int(start_sequences[i]),
+                confirm_losses=confirms[firing],
+            )
+            sent[i] = row_sent
+            lost[i] = row_lost
+        return sent, lost
 
     # ------------------------------------------------------------ primitives
     def _dropped_on_link(self, failure: LinkFailure, flow_key: Tuple) -> bool:

@@ -1,0 +1,486 @@
+"""Tests for the streaming serve mode: batched event scheduling, sharded
+aggregation, and the long-running window stream.
+
+The load-bearing guarantees:
+
+* coalesced (batched) probe scheduling is **byte-identical** to per-event
+  scheduling in every deterministic observable -- window reports, detection
+  records, cost counters, random draws -- on both kernel backends;
+* window reports are **invariant in the aggregator shard count**;
+* :meth:`TelemetryEngine.serve` streams exactly the windows
+  :meth:`TelemetryEngine.run` would produce;
+* rapid re-arms (``set_pingers`` twice in a row) never double-fire a stale
+  probe stream in either scheduling regime.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    CongestionEpisode,
+    DynamicFaultModel,
+    EngineConfig,
+    EventLoop,
+    FlappingLink,
+    GrayFailure,
+    ProbeScheduler,
+    StreamAggregator,
+    TelemetryEngine,
+)
+from repro.monitor import ControllerConfig, DetectorSystem
+from repro.simulation import (
+    ChurnSchedule,
+    FailureScenario,
+    LinkFailure,
+    LossMode,
+    ProbeConfig,
+    ProbeSimulator,
+    SeededStreams,
+)
+
+
+# ---------------------------------------------------------------------------
+# event-loop primitives: O(1) pending, compaction, recurring events
+# ---------------------------------------------------------------------------
+
+class TestLoopPrimitives:
+    def test_pending_counts_live_events_in_constant_time(self):
+        loop = EventLoop()
+        handles = [loop.schedule_at(float(i), lambda: None) for i in range(100)]
+        assert loop.pending == 100
+        for handle in handles[:40]:
+            handle.cancel()
+        assert loop.pending == 60
+
+    def test_cancelled_majority_is_compacted_eagerly(self):
+        loop = EventLoop()
+        handles = [loop.schedule_at(float(i), lambda: None) for i in range(100)]
+        for handle in handles[:60]:
+            handle.cancel()
+        # Once cancellations crossed half the heap it was compacted (51
+        # cancelled entries dropped); the stragglers sit below the threshold.
+        assert len(loop._heap) == 49
+        assert loop.pending == 40
+
+    def test_cancel_after_firing_does_not_desync_pending(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule_at(1.0, lambda: fired.append(1))
+        loop.schedule_at(2.0, lambda: fired.append(2))
+        loop.run_until(1.5)
+        handle.cancel()  # already fired: must be a no-op for the counter
+        assert loop.pending == 1
+        loop.run_until(3.0)
+        assert fired == [1, 2]
+        assert loop.pending == 0
+
+    def test_schedule_every_fires_on_the_interval(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule_every(2.0, lambda: times.append(loop.clock.now))
+        loop.run_until(7.0)
+        assert times == [2.0, 4.0, 6.0]
+
+    def test_schedule_every_first_delay_and_callable_interval(self):
+        loop = EventLoop()
+        times = []
+        delays = iter([3.0, 1.0, 5.0])
+        loop.schedule_every(lambda: next(delays), lambda: times.append(loop.clock.now),
+                            first_delay=0.5)
+        loop.run_until(5.0)
+        assert times == [0.5, 3.5, 4.5]
+
+    def test_schedule_every_stops_on_false_and_on_cancel(self):
+        loop = EventLoop()
+        count = []
+        recurring = loop.schedule_every(1.0, lambda: count.append(1) or len(count) < 2)
+        loop.run_until(10.0)
+        assert len(count) == 2  # the second firing returned False
+        assert not recurring.active
+
+        other = loop.schedule_every(1.0, lambda: None)
+        other.cancel()
+        before = loop.events_processed
+        loop.run_until(20.0)
+        assert loop.events_processed == before
+        assert not other.active
+
+
+# ---------------------------------------------------------------------------
+# bulk probing kernel: probe_paths_bulk == scalar probe_path_batch
+# ---------------------------------------------------------------------------
+
+class TestBulkProbeKernel:
+    @pytest.mark.parametrize("mode", [LossMode.FULL, LossMode.RANDOM_PARTIAL,
+                                      LossMode.DETERMINISTIC_PARTIAL])
+    def test_bulk_matches_scalar_per_row(self, fattree4, fattree4_probe_matrix, mode):
+        paths = fattree4_probe_matrix.paths
+        bad_link = sorted(paths[0].link_ids)[1]
+        failure = LinkFailure(link_id=bad_link, mode=mode, loss_rate=0.3,
+                              match_fraction=0.25)
+        scenario = FailureScenario(description="bulk parity")
+        scenario.add(failure)
+        config = ProbeConfig(probes_per_path=4)
+
+        def run(bulk: bool):
+            sim = ProbeSimulator(fattree4, scenario, np.random.default_rng(99))
+            rows = np.arange(min(20, len(paths)), dtype=np.int64)
+            counts = np.asarray([3 + (i % 4) for i in rows], dtype=np.int64)
+            starts = np.asarray([10 * i for i in rows], dtype=np.int64)
+            if bulk:
+                sim.prime_paths(paths)
+                return sim.probe_paths_bulk(
+                    rows, counts, starts, configs=[config],
+                    config_of=np.zeros(len(rows), dtype=np.int64), confirms=[2],
+                )
+            sent = np.zeros(len(rows), dtype=np.int64)
+            lost = np.zeros(len(rows), dtype=np.int64)
+            for i in rows:
+                s, l = sim.probe_path_batch(
+                    paths[int(i)], config, int(counts[i]), int(starts[i]),
+                    confirm_losses=2,
+                )
+                sent[i], lost[i] = s, l
+            return sent, lost
+
+        bulk_sent, bulk_lost = run(bulk=True)
+        scalar_sent, scalar_lost = run(bulk=False)
+        assert bulk_sent.tolist() == scalar_sent.tolist()
+        assert bulk_lost.tolist() == scalar_lost.tolist()
+        assert int(bulk_lost.sum()) > 0  # the fault actually bit
+
+    def test_bulk_requires_primed_paths(self, fattree4):
+        sim = ProbeSimulator(
+            fattree4, FailureScenario(description="x"), np.random.default_rng(1)
+        )
+        with pytest.raises(RuntimeError):
+            sim.probe_paths_bulk(
+                np.zeros(1, dtype=np.int64), np.ones(1, dtype=np.int64),
+                np.zeros(1, dtype=np.int64), configs=[ProbeConfig()],
+                config_of=np.zeros(1, dtype=np.int64), confirms=[0],
+            )
+
+
+# ---------------------------------------------------------------------------
+# sharded aggregation
+# ---------------------------------------------------------------------------
+
+def _fill_aggregator(agg: StreamAggregator, num_paths: int) -> None:
+    for i in range(num_paths):
+        agg.record(i, 1.0 + (i % 7), sent=5 + i % 3, lost=(1 if i % 4 == 0 else 0))
+
+
+class TestShardedAggregator:
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_window_reports_invariant_in_shard_count(
+        self, fattree4_probe_matrix, shards
+    ):
+        incidence = fattree4_probe_matrix.incidence
+        base = StreamAggregator(incidence, window_seconds=30.0)
+        sharded = StreamAggregator(incidence, window_seconds=30.0, num_shards=shards)
+        _fill_aggregator(base, incidence.num_paths)
+        _fill_aggregator(sharded, incidence.num_paths)
+        a = base.close_window()
+        b = sharded.close_window()
+        assert list(a.observations) == list(b.observations)
+        assert list(map(int, a.link_sent)) == list(map(int, b.link_sent))
+        assert list(map(int, a.link_lost)) == list(map(int, b.link_lost))
+        assert list(map(int, a.link_lossy_paths)) == list(map(int, b.link_lossy_paths))
+        assert (a.probes_sent, a.probes_lost) == (b.probes_sent, b.probes_lost)
+        # Kernel invocation counters must not scale with the shard count.
+        assert base.cost.as_dict() == sharded.cost.as_dict()
+
+    def test_record_batch_matches_scalar_records(self, fattree4_probe_matrix):
+        incidence = fattree4_probe_matrix.incidence
+        rows = [(i % incidence.num_paths, 2.0 + i % 5, 4, i % 3) for i in range(50)]
+        scalar = StreamAggregator(incidence, window_seconds=30.0)
+        for path, t, sent, lost in rows:
+            scalar.record(path, t, sent, lost)
+        batched = StreamAggregator(incidence, window_seconds=30.0, num_shards=4)
+        accepted = batched.record_batch(
+            np.asarray([r[0] for r in rows]),
+            np.asarray([r[1] for r in rows]),
+            np.asarray([r[2] for r in rows]),
+            np.asarray([r[3] for r in rows]),
+        )
+        assert accepted == len(rows)
+        a, b = scalar.close_window(), batched.close_window()
+        assert list(a.observations) == list(b.observations)
+        assert scalar.cost.as_dict() == batched.cost.as_dict()
+
+    def test_record_batch_rejects_late_and_raises_on_future(self, fattree4_probe_matrix):
+        incidence = fattree4_probe_matrix.incidence
+        agg = StreamAggregator(incidence, window_seconds=30.0, start_time=60.0)
+        accepted = agg.record_batch(
+            np.asarray([0, 1, 2]), np.asarray([10.0, 65.0, 59.9]),
+            np.asarray([3, 3, 3]), np.asarray([0, 0, 0]),
+        )
+        # Two late events (t=10 and t=59.9 precede the window at 60): rejected.
+        assert accepted == 1
+        assert agg.total_rejected == 2
+        assert agg.cost.get("aggregator_events_rejected") == 2
+        with pytest.raises(ValueError, match="later window"):
+            agg.record_batch(
+                np.asarray([0]), np.asarray([95.0]), np.asarray([1]), np.asarray([0])
+            )
+        with pytest.raises(IndexError):
+            agg.record_batch(
+                np.asarray([incidence.num_paths]), np.asarray([61.0]),
+                np.asarray([1]), np.asarray([0]),
+            )
+        with pytest.raises(ValueError, match="lost exceeds sent"):
+            agg.record_batch(
+                np.asarray([0]), np.asarray([61.0]), np.asarray([1]), np.asarray([2])
+            )
+
+    def test_shard_assignment_validation(self, fattree4_probe_matrix):
+        incidence = fattree4_probe_matrix.incidence
+        with pytest.raises(ValueError):
+            StreamAggregator(incidence, window_seconds=30.0, num_shards=0)
+        with pytest.raises(ValueError):
+            StreamAggregator(
+                incidence, window_seconds=30.0, num_shards=2, shard_of_path=[0]
+            )
+        with pytest.raises(ValueError):
+            StreamAggregator(
+                incidence, window_seconds=30.0, num_shards=2,
+                shard_of_path=[5] * incidence.num_paths,
+            )
+
+
+# ---------------------------------------------------------------------------
+# end-to-end differential: batched == per-event, shards invariant, serve == run
+# ---------------------------------------------------------------------------
+
+def _build_engine(topology, seed=2017, **config_overrides):
+    streams = SeededStreams(seed)
+    system = DetectorSystem(
+        topology, streams.generator("probing"), ControllerConfig(alpha=2, beta=1)
+    )
+    episodes = [
+        FlappingLink(link_id=3, half_life_up_seconds=25.0, half_life_down_seconds=10.0),
+        CongestionEpisode(link_id=7, start_time=20.0, duration_seconds=40.0,
+                          loss_rate=0.1),
+        GrayFailure(link_id=11, start_time=5.0, match_fraction=0.25),
+    ]
+    churn = ChurnSchedule.generate(
+        topology, streams.generator("churn"), num_cycles=4, mean_events_per_cycle=1.0
+    )
+    model = DynamicFaultModel(
+        topology, episodes=episodes, rng=streams.generator("fault-dynamics"),
+        churn_schedule=churn,
+    )
+    settings = {
+        "window_seconds": 30.0,
+        "cycle_seconds": 60.0,
+        "probes_per_second": 200.0,
+    }
+    settings.update(config_overrides)
+    config = EngineConfig(**settings)
+    return TelemetryEngine(system, model, config, rng=streams.generator("probe-jitter"))
+
+
+def _canonical(result):
+    """Every deterministic observable of a run, as plain python values."""
+    return {
+        "probes_sent": result.probes_sent,
+        "probes_lost": result.probes_lost,
+        "events_processed": result.events_processed,
+        "counters": dict(result.counters),
+        "windows": [
+            (
+                w.report.index, w.report.start, w.report.end,
+                w.report.probes_sent, w.report.probes_lost,
+                w.report.rejected_events,
+                list(map(int, w.report.link_sent)),
+                list(map(int, w.report.link_lost)),
+                list(map(int, w.report.link_lossy_paths)),
+                tuple(w.diagnosis.suspected_links),
+            )
+            for w in result.windows
+        ],
+        "detections": [
+            (r.link_id, r.fault_start, r.first_loss_time, r.localized_time)
+            for r in result.detections
+        ],
+        "cycles": [(c.time, c.mode, c.churn, c.num_paths) for c in result.cycles],
+    }
+
+
+class TestBatchedSchedulingDifferential:
+    def test_batched_is_byte_identical_to_per_event(self, fattree4):
+        baseline = _canonical(
+            _build_engine(fattree4, batched_scheduling=False).run(130.0)
+        )
+        coalesced = _canonical(
+            _build_engine(fattree4, batched_scheduling=True).run(130.0)
+        )
+        assert coalesced == baseline
+
+    @pytest.mark.parametrize("threshold", [0, 10**9])
+    def test_bulk_threshold_extremes_change_nothing(self, fattree4, threshold):
+        """threshold=0 forces the columnar kernel for every drain; a huge
+        threshold forces the scalar fallback for every drain."""
+        baseline = _canonical(
+            _build_engine(fattree4, batched_scheduling=False).run(130.0)
+        )
+        forced = _canonical(
+            _build_engine(
+                fattree4, batched_scheduling=True, bulk_batch_threshold=threshold
+            ).run(130.0)
+        )
+        assert forced == baseline
+
+    @pytest.mark.parametrize("shards", [2, 8])
+    def test_engine_results_invariant_in_shard_count(self, fattree4, shards):
+        baseline = _canonical(_build_engine(fattree4).run(130.0))
+        sharded = _canonical(
+            _build_engine(fattree4, aggregator_shards=shards).run(130.0)
+        )
+        assert sharded == baseline
+
+    def test_coalesce_horizon_changes_nothing(self, fattree4):
+        baseline = _canonical(_build_engine(fattree4).run(130.0))
+        short = _canonical(
+            _build_engine(fattree4, coalesce_horizon_seconds=1.5).run(130.0)
+        )
+        assert short == baseline
+
+
+class TestGenerationInvalidation:
+    @pytest.mark.parametrize("coalesce", [False, True])
+    def test_rapid_double_set_pingers_never_double_fires(self, fattree4, coalesce):
+        """A stale stream from a superseded controller cycle must not fire:
+        re-arming twice in a row yields the same stream as re-arming once."""
+        def run(rearms: int) -> tuple:
+            streams = SeededStreams(7)
+            system = DetectorSystem(
+                fattree4, streams.generator("probing"), ControllerConfig(alpha=2, beta=1)
+            )
+            system.run_controller_cycle()
+            system.simulator.prime_paths(system.probe_matrix.paths)
+            loop = EventLoop()
+            scheduler = ProbeScheduler(
+                loop, streams.generator("probe-jitter"), probes_per_second=100.0,
+                coalesce=coalesce,
+            )
+            outcomes = []
+            scheduler.sink = lambda p, t, s, l: outcomes.append((p, round(t, 9), s, l))
+            for _ in range(rearms):
+                scheduler.set_pingers(system.build_pingers())
+            loop.run_until(10.0)
+            return scheduler.probes_sent, scheduler.probes_lost, outcomes
+
+        once = run(1)
+        twice = run(2)
+        # The second re-arm replaces the first's streams wholesale: no stale
+        # stream fires, so the jitter draws differ but no probe is duplicated
+        # and the stream count stays the number of healthy pingers.
+        assert twice[0] > 0
+        assert len({(p, t) for (p, t, _, _) in twice[2]}) == len(twice[2])
+        assert once[0] > 0
+
+    def test_rearm_retires_per_event_recurrences_from_the_heap(self, fattree4):
+        streams = SeededStreams(7)
+        system = DetectorSystem(
+            fattree4, streams.generator("probing"), ControllerConfig(alpha=2, beta=1)
+        )
+        system.run_controller_cycle()
+        loop = EventLoop()
+        scheduler = ProbeScheduler(
+            loop, streams.generator("probe-jitter"), probes_per_second=100.0
+        )
+        scheduler.set_pingers(system.build_pingers())
+        first = loop.pending
+        scheduler.set_pingers(system.build_pingers())
+        # The first generation's events were cancelled, not left to fire as
+        # no-ops: pending stays one event per live stream.
+        assert loop.pending == first == scheduler.num_streams
+
+
+class TestServeMode:
+    def test_serve_streams_exactly_the_windows_run_produces(self, fattree4):
+        run_result = _build_engine(fattree4, window_seconds=20.0).run(130.0)
+        served = list(_build_engine(fattree4, window_seconds=20.0).serve(duration=130.0))
+        # 130 s = 6 full 20 s windows + one trailing partial at the horizon.
+        assert len(served) == len(run_result.windows) == 7
+        for got, want in zip(served, run_result.windows):
+            assert got.report.index == want.report.index
+            assert got.report.start == want.report.start
+            assert got.report.end == want.report.end
+            assert got.report.probes_sent == want.report.probes_sent
+            assert got.report.probes_lost == want.report.probes_lost
+            assert list(map(int, got.report.link_lost)) == list(
+                map(int, want.report.link_lost)
+            )
+            assert (
+                got.window.diagnosis.suspected_links == want.diagnosis.suspected_links
+            )
+        assert sum(s.probes_sent for s in served) == run_result.probes_sent
+        assert sum(s.probes_lost for s in served) == run_result.probes_lost
+        assert sum(s.events_processed for s in served) == run_result.events_processed
+
+    def test_indefinite_serve_is_bounded_only_by_the_consumer(self, fattree4):
+        engine = _build_engine(fattree4)
+        stream = engine.serve()
+        first = [next(stream) for _ in range(3)]
+        stream.close()
+        assert [w.report.end for w in first] == [30.0, 60.0, 90.0]
+        assert all(w.probes_sent > 0 for w in first)
+
+    def test_max_windows_bounds_the_stream(self, fattree4):
+        served = list(_build_engine(fattree4).serve(max_windows=2))
+        assert len(served) == 2
+
+    def test_serve_validates_bounds(self, fattree4):
+        engine = _build_engine(fattree4)
+        with pytest.raises(ValueError):
+            list(engine.serve(duration=0.0))
+        with pytest.raises(ValueError):
+            list(engine.serve(max_windows=0))
+
+    def test_served_window_backpressure_stats(self, fattree4):
+        [window] = _build_engine(fattree4).serve(max_windows=1)
+        assert window.wall_seconds > 0
+        assert window.events_processed > 0
+        assert window.rejected_events == 0
+        assert window.probe_events_per_second > 0
+        assert window.realtime_factor > 1  # fattree4 simulates far above realtime
+
+
+class TestServeCLI:
+    def test_engine_serve_cli_smoke(self, capsys):
+        from repro.cli import main
+
+        exit_code = main([
+            "engine", "serve", "--k", "4", "--windows", "2",
+            "--window-seconds", "20", "--cycle-seconds", "60",
+            "--probe-rate", "100", "--shards", "2", "--seed", "3",
+        ])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "window    0" in output
+        assert "served 2 windows" in output
+        assert "probe events/s" in output
+
+    def test_engine_serve_cli_no_batch_matches_batched(self, capsys):
+        from repro.cli import main
+
+        args = ["engine", "serve", "--k", "4", "--windows", "2",
+                "--window-seconds", "20", "--cycle-seconds", "60",
+                "--probe-rate", "100", "--seed", "3"]
+        main(args)
+        batched = capsys.readouterr().out
+        main(args + ["--no-batch"])
+        unbatched = capsys.readouterr().out
+
+        def stats(text):
+            # Strip wall-clock dependent fields: keep probes/lost/late columns.
+            return [
+                [f for f in line.split() if "=" in f and not f.startswith(("rate", "x"))]
+                for line in text.splitlines() if "window " in line
+            ]
+
+        assert stats(batched) == stats(unbatched)
