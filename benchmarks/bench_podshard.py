@@ -1,0 +1,180 @@
+"""Pod-sharded control-plane benchmark: writes ``BENCH_podshard.json``.
+
+Two gates, both on **exact deterministic counters** (wall-clock numbers are
+recorded but informational only, as PR 4 established for Table 2):
+
+* **Jobs invariance** -- the pod-sharded solve at ``jobs > 1`` must be
+  byte-identical to ``jobs=1``: same selections, same
+  ``PMCStats.cost_counters()``, same per-shard digests and per-shard kernel
+  counters.  A divergence is a hard failure, so the benchmark doubles as a
+  large-instance differential test.
+* **Churn isolation** -- on a warmed sharded controller, failing one
+  pod-owned link must re-solve exactly that pod's shard plus the residual
+  shard; every other shard must replay from its warm bucket with a zero
+  kernel delta.
+
+Used by the CI benchmark-smoke job in quick mode; run the full configuration
+locally with::
+
+    PYTHONPATH=src python benchmarks/bench_podshard.py [--quick] [--out BENCH_podshard.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+
+from repro.core import (
+    PMCOptions,
+    RESIDUAL_POD,
+    construct_probe_matrix,
+    link_pod_map,
+)
+from repro.monitor import Controller, ControllerConfig
+from repro.routing import RoutingMatrix, enumerate_candidate_paths
+from repro.topology import build_bcube, build_fattree, build_vl2
+
+
+def bench_jobs_invariance(name: str, topology, paths, jobs: int) -> dict:
+    matrix = RoutingMatrix(topology, paths)
+
+    t0 = time.perf_counter()
+    serial = construct_probe_matrix(
+        matrix, PMCOptions(alpha=2, beta=1, shard_by_pods=True, jobs=1)
+    )
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = construct_probe_matrix(
+        matrix, PMCOptions(alpha=2, beta=1, shard_by_pods=True, jobs=jobs)
+    )
+    parallel_seconds = time.perf_counter() - t0
+
+    # The gate: counters, not clocks.
+    if parallel.selected_indices != serial.selected_indices:
+        raise SystemExit(f"{name}: parallel selections diverged from serial")
+    if parallel.stats.cost_counters() != serial.stats.cost_counters():
+        raise SystemExit(f"{name}: parallel cost counters diverged from serial")
+    if parallel.shard_digests() != serial.shard_digests():
+        raise SystemExit(f"{name}: shard digests diverged")
+    if [s.kernel_cost for s in parallel.shards] != [s.kernel_cost for s in serial.shards]:
+        raise SystemExit(f"{name}: per-shard kernel counters diverged")
+
+    return {
+        "topology": name,
+        "candidate_paths": len(paths),
+        "selected_paths": len(serial.selected_indices),
+        "shards": [
+            {
+                "pod": shard.pod,
+                "paths": shard.num_paths,
+                "links": shard.num_links,
+                "selected": shard.num_selected,
+            }
+            for shard in serial.shards
+        ],
+        "jobs": jobs,
+        "cost_counters": serial.stats.cost_counters(),
+        "byte_identical_across_jobs": True,
+        # Informational only -- small instances are dominated by pool spawn.
+        "serial_wall_seconds": round(serial_seconds, 4),
+        "parallel_wall_seconds": round(parallel_seconds, 4),
+    }
+
+
+def bench_churn_isolation(name: str, topology) -> dict:
+    config = ControllerConfig(alpha=2, beta=1, shard_by_pods=True, intrapod_paths=True)
+    controller = Controller(topology, config)
+    controller.run_incremental_cycle()  # bootstrap full rebuild
+    controller.run_incremental_cycle()  # seed the per-pod warm buckets
+
+    pods = link_pod_map(topology)
+    target_pod = 0
+    bad = next(l.link_id for l in topology.switch_links if pods[l.link_id] == target_pod)
+
+    t0 = time.perf_counter()
+    controller.watchdog.report_failed_link(bad)
+    cycle = controller.run_incremental_cycle()
+    churn_seconds = time.perf_counter() - t0
+
+    expected = (target_pod, RESIDUAL_POD)
+    if cycle.touched_shards != expected:
+        raise SystemExit(
+            f"{name}: pod-{target_pod} churn touched shards {cycle.touched_shards}, "
+            f"expected {expected}"
+        )
+    for shard in cycle.pmc_result.shards:
+        if shard.pod in expected:
+            continue
+        if not shard.reused or shard.kernel_cost != {}:
+            raise SystemExit(
+                f"{name}: untouched shard {shard.pod} did kernel work {shard.kernel_cost}"
+            )
+
+    total = len(cycle.pmc_result.shards)
+    return {
+        "topology": name,
+        "num_shards": total,
+        "touched_shards": list(cycle.touched_shards),
+        "replayed_shards": total - len(cycle.touched_shards),
+        "isolation_holds": True,
+        "churn_cycle_wall_seconds": round(churn_seconds, 4),  # informational
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small instances only")
+    parser.add_argument("--jobs", type=int, default=4, help="parallel worker count to gate")
+    parser.add_argument("--out", default="BENCH_podshard.json")
+    args = parser.parse_args()
+
+    if args.quick:
+        fattree = ("fattree8", build_fattree(8))
+        instances = [
+            ("fattree8", build_fattree(8), dict(include_intrapod_agg=True)),
+            ("vl2_442", build_vl2(4, 4, 2), {}),
+            ("bcube41", build_bcube(4, 1), {}),
+        ]
+    else:
+        fattree = ("fattree16", build_fattree(16))
+        instances = [
+            ("fattree16", build_fattree(16), dict(include_intrapod_agg=True)),
+            ("vl2_884", build_vl2(8, 8, 4), {}),
+            ("bcube42", build_bcube(4, 2), {}),
+        ]
+
+    rows = []
+    for name, topology, kwargs in instances:
+        paths = enumerate_candidate_paths(topology, ordered=False, **kwargs)
+        rows.append(bench_jobs_invariance(name, topology, paths, args.jobs))
+
+    report = {
+        "benchmark": "podshard_control_plane",
+        "config": {"alpha": 2, "beta": 1, "jobs_gated": args.jobs},
+        "python_version": platform.python_version(),
+        "rows": rows,
+        "churn_isolation": bench_churn_isolation(*fattree),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    for row in rows:
+        print(
+            f"{row['topology']:>10}: {len(row['shards'])} shards, "
+            f"sel={row['selected_paths']} identical@jobs={row['jobs']} "
+            f"serial={row['serial_wall_seconds']:.3f}s "
+            f"parallel={row['parallel_wall_seconds']:.3f}s"
+        )
+    isolation = report["churn_isolation"]
+    print(
+        f"{isolation['topology']:>10}: churn touched {isolation['touched_shards']} "
+        f"of {isolation['num_shards']} shards "
+        f"({isolation['replayed_shards']} replayed)"
+    )
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -51,6 +51,15 @@ def build_parser() -> argparse.ArgumentParser:
     pmc.add_argument(
         "--no-decomposition", action="store_true", help="disable problem decomposition"
     )
+    pmc.add_argument(
+        "--shard-by-pods", action="store_true",
+        help="pod-sharded decomposition (one subproblem per pod + residual shard)",
+    )
+    pmc.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for subproblem solves (default: REPRO_JOBS or 1; "
+        "selections are byte-identical at any setting)",
+    )
 
     monitor = subparsers.add_parser("monitor", help="run the monitoring system end to end")
     monitor.add_argument("--k", type=int, default=4, help="Fattree radix (default 4)")
@@ -72,6 +81,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MEAN",
         help="mean topology-churn events per cycle (0 disables churn; implies one "
         "controller cycle per window)",
+    )
+    monitor.add_argument(
+        "--shard-by-pods", action="store_true",
+        help="pod-sharded control plane: solve one PMC subproblem per pod "
+        "(plus a residual shard) with per-pod warm caches",
+    )
+    monitor.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for PMC subproblem solves (default: REPRO_JOBS or 1)",
+    )
+    monitor.add_argument(
+        "--intrapod-paths", action="store_true",
+        help="also enumerate edge->agg->edge intra-pod candidate paths "
+        "(gives the pod shards pod-local work on Fattree)",
     )
 
     engine = subparsers.add_parser(
@@ -127,10 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="with 'all': run experiments in N worker processes (results are "
-        "identical to --jobs 1; only wall-clock time changes)",
+        help="with 'all': run experiments in N worker processes (default: "
+        "REPRO_JOBS or 1; results are identical to --jobs 1, only wall-clock "
+        "time changes)",
     )
     experiment.add_argument(
         "--seed",
@@ -190,6 +214,18 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--bulk-threshold", type=int, default=64, metavar="ROWS",
         help="min probe-batch rows per drain before the columnar kernel engages",
     )
+    parser.add_argument(
+        "--shard-by-pods", action="store_true",
+        help="pod-sharded control plane for the controller cycles",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for PMC subproblem solves (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--intrapod-paths", action="store_true",
+        help="also enumerate edge->agg->edge intra-pod candidate paths",
+    )
     parser.add_argument("--seed", type=int, default=2017)
 
 
@@ -239,6 +275,8 @@ def _cmd_pmc(args: argparse.Namespace) -> int:
         use_symmetry=args.symmetry,
         use_lazy_update=not args.no_lazy,
         use_decomposition=not args.no_decomposition,
+        shard_by_pods=args.shard_by_pods,
+        jobs=args.jobs,
     )
     probe_matrix = result.probe_matrix
     print(f"{topology.name}: selected {result.num_paths} probe paths "
@@ -268,7 +306,12 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         topology,
         rng,
         ControllerConfig(
-            alpha=args.alpha, beta=args.beta, probes_per_second=args.probes_per_second
+            alpha=args.alpha,
+            beta=args.beta,
+            probes_per_second=args.probes_per_second,
+            shard_by_pods=args.shard_by_pods,
+            jobs=args.jobs,
+            intrapod_paths=args.intrapod_paths,
         ),
     )
     schedule = (
@@ -383,7 +426,13 @@ def _build_engine(args: argparse.Namespace):
     system = DetectorSystem(
         topology,
         streams.generator("probing"),
-        ControllerConfig(alpha=args.alpha, beta=args.beta),
+        ControllerConfig(
+            alpha=args.alpha,
+            beta=args.beta,
+            shard_by_pods=args.shard_by_pods,
+            jobs=args.jobs,
+            intrapod_paths=args.intrapod_paths,
+        ),
     )
     episodes, static_scenario = _build_engine_episodes(args, topology, streams)
     config = EngineConfig(
@@ -486,9 +535,14 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             f"at t={record.fault_start:.1f}s: {detection}, {localization}"
         )
     for cycle in result.cycles:
+        shards = (
+            f" shards={list(cycle.touched_shards)}"
+            if cycle.touched_shards is not None
+            else ""
+        )
         print(
             f"  cycle at t={cycle.time:.0f}s [{cycle.mode}] churn={cycle.churn} "
-            f"wall={cycle.wall_seconds:.3f}s paths={cycle.num_paths}"
+            f"wall={cycle.wall_seconds:.3f}s paths={cycle.num_paths}{shards}"
         )
     return 0
 
@@ -508,10 +562,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     )
 
     if args.name == "all":
+        from repro.parallel import resolve_jobs
+
         run_all(
             default_suite(args.scale),
             output_dir=args.output_dir,
-            jobs=args.jobs,
+            jobs=resolve_jobs(args.jobs),
             seed=args.seed,
         )
         return 0

@@ -1,14 +1,22 @@
 """deTector's primary contribution: probe-matrix construction and its building blocks."""
 
 from .costmodel import CostModel, KernelCounters
-from .decomposition import Subproblem, decompose_by_link_sets, decompose_routing_matrix
+from .decomposition import (
+    RESIDUAL_POD,
+    Subproblem,
+    decompose_by_link_sets,
+    decompose_routing_matrix,
+    link_pod_map,
+    pod_shards_for_matrix,
+)
 from .incidence import Backend, IncidenceIndex, RefinablePartition, RowProjection, resolve_backend
-from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap
+from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap, ShardedSolutionCache
 from .link_partition import LinkSetPartition
 from .pmc import (
     PMCOptions,
     PMCResult,
     PMCStats,
+    ShardOutcome,
     construct_probe_matrix,
     construct_probe_matrix_masked,
     pmc_for_topology,
@@ -41,11 +49,16 @@ __all__ = [
     "BatchCELFHeap",
     "CELFSolutionCache",
     "LazyMinHeap",
+    "ShardedSolutionCache",
+    "ShardOutcome",
     "LinkSetPartition",
     "ExtendedLinkSpace",
+    "RESIDUAL_POD",
     "Subproblem",
     "decompose_routing_matrix",
     "decompose_by_link_sets",
+    "link_pod_map",
+    "pod_shards_for_matrix",
     "check_coverage",
     "check_identifiability",
     "coverage_level",

@@ -14,36 +14,72 @@ bipartite graph once" remark.  The set-based entry point
 link sets rather than an index (PLL now decomposes through
 ``incidence.components(rows=...)`` directly); it simply builds a transient
 index.
+
+**Pod sharding.**  Data-center candidate sets are usually one connected
+component (every inter-pod path couples the pods through the core), so exact
+decomposition yields no parallelism at scale.  The pod-sharded control plane
+instead shards *by pod*: a path whose links all live inside one pod goes to
+that pod's shard, and every path that spans pods -- or crosses links without
+a single owning pod, such as aggregation-core links -- goes to a dedicated
+**residual shard** (:data:`RESIDUAL_POD`), never silently to pod 0.  Links
+are grouped with the paths that can probe them (a shard's universe is the
+union of its paths' links), and universe links no shard's paths touch are
+orphaned into the residual shard so they surface as uncoverable exactly like
+path-less singleton components do in the exact decomposition.  Shards are
+emitted in canonical order -- pods ascending, residual last -- independent of
+pod enumeration order, which is what makes the parallel merge deterministic.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .incidence import IncidenceIndex
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a routing<->core cycle
     from ..routing import RoutingMatrix
+    from ..topology import Topology
 
-__all__ = ["Subproblem", "decompose_routing_matrix", "decompose_by_link_sets"]
+__all__ = [
+    "RESIDUAL_POD",
+    "Subproblem",
+    "decompose_routing_matrix",
+    "decompose_by_link_sets",
+    "link_pod_map",
+    "pod_shards_for_matrix",
+]
+
+#: ``Subproblem.pod`` value of the residual shard: the shard holding every
+#: cross-pod path, every link without a single owning pod and every orphaned
+#: (path-less) universe link.  Distinct from ``None``, which marks plain
+#: connected-component subproblems that were never pod-sharded at all.
+RESIDUAL_POD: int = -1
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
 class Subproblem:
     """An independent slice of the probe-path selection problem.
+
+    Slotted, frozen and built from plain tuples so instances hash, compare
+    by value and cross a process boundary by pickling -- pod-sharded solves
+    ship one ``Subproblem`` per pool task.
 
     Attributes
     ----------
     link_ids:
-        The physical links of this component (sorted).
+        The physical links of this shard/component (sorted).
     path_indices:
-        Indices (into the parent routing matrix) of the candidate paths whose
-        links all belong to this component.
+        Indices (into the parent routing matrix) of the candidate paths
+        assigned to this shard/component.
+    pod:
+        ``None`` for exact connected-component subproblems; the owning pod
+        number for pod shards; :data:`RESIDUAL_POD` for the residual shard.
     """
 
     link_ids: Tuple[int, ...]
     path_indices: Tuple[int, ...]
+    pod: Optional[int] = None
 
     @property
     def num_links(self) -> int:
@@ -62,14 +98,142 @@ def _subproblems_from_components(
     ]
 
 
-def decompose_by_link_sets(
-    path_link_sets: Sequence[frozenset], link_universe: Sequence[int]
+def link_pod_map(
+    topology: "Topology", link_ids: Optional[Iterable[int]] = None
+) -> Dict[int, Optional[int]]:
+    """Owning pod of every link: ``p`` iff both endpoints live in pod ``p``.
+
+    Links whose endpoints disagree on the pod, or touch a pod-less device
+    (core switches, VL2 intermediates, BCube levels), map to ``None`` and are
+    handled by the residual shard.
+    """
+    if link_ids is None:
+        link_ids = [link.link_id for link in topology.switch_links]
+    mapping: Dict[int, Optional[int]] = {}
+    for link_id in link_ids:
+        link = topology.link(link_id)
+        pod_a = topology.node(link.a).pod
+        pod_b = topology.node(link.b).pod
+        mapping[link_id] = pod_a if (pod_a is not None and pod_a == pod_b) else None
+    return mapping
+
+
+def _pod_shards(
+    row_items: Iterable[Tuple[int, Iterable[int]]],
+    link_universe: Sequence[int],
+    link_pods: Dict[int, Optional[int]],
+    pod_order: Optional[Sequence[int]] = None,
 ) -> List[Subproblem]:
-    """Decompose from raw path->link-set data (no RoutingMatrix required)."""
+    """Shard ``(row, links)`` items by owning pod, cross-pod rows to residual.
+
+    ``pod_order`` is an iteration hint only: shards always come back pods
+    ascending with the residual shard last, whatever order (or subset) the
+    caller enumerates pods in.  The invariance is load-bearing -- the
+    parallel merge concatenates shard selections in this canonical order.
+    """
+    universe = sorted(set(link_universe))
+    universe_set = set(universe)
+    shard_rows: Dict[int, List[int]] = {}
+    shard_links: Dict[int, Set[int]] = {}
+    for row, links in row_items:
+        in_universe = [link for link in links if link in universe_set]
+        if not in_universe:
+            # Rows with no in-universe links are dropped, matching
+            # IncidenceIndex.components() and the seed decomposition.
+            continue
+        pods = {link_pods.get(link) for link in in_universe}
+        if len(pods) == 1 and None not in pods:
+            shard = pods.pop()
+        else:
+            shard = RESIDUAL_POD
+        shard_rows.setdefault(shard, []).append(int(row))
+        shard_links.setdefault(shard, set()).update(in_universe)
+
+    touched: Set[int] = set()
+    for links in shard_links.values():
+        touched.update(links)
+    orphans = [link for link in universe if link not in touched]
+    if orphans:
+        # Universe links no shard's paths can probe: orphaned into the
+        # residual shard so they are reported uncoverable there, exactly as
+        # path-less singleton components surface in the exact decomposition.
+        shard_rows.setdefault(RESIDUAL_POD, [])
+        shard_links.setdefault(RESIDUAL_POD, set()).update(orphans)
+
+    pods_present = sorted(pod for pod in shard_rows if pod != RESIDUAL_POD)
+    if pod_order is not None:
+        # Honor the hint for iteration, then canonicalise: the output must
+        # not depend on the enumeration order handed in.
+        hinted = [pod for pod in pod_order if pod in shard_rows and pod != RESIDUAL_POD]
+        hinted += [pod for pod in pods_present if pod not in set(hinted)]
+        pods_present = sorted(hinted)
+    order = pods_present + ([RESIDUAL_POD] if RESIDUAL_POD in shard_rows else [])
+    return [
+        Subproblem(
+            link_ids=tuple(sorted(shard_links[pod])),
+            path_indices=tuple(shard_rows[pod]),
+            pod=pod,
+        )
+        for pod in order
+    ]
+
+
+def decompose_by_link_sets(
+    path_link_sets: Sequence[frozenset],
+    link_universe: Sequence[int],
+    link_pods: Optional[Dict[int, Optional[int]]] = None,
+    pod_order: Optional[Sequence[int]] = None,
+) -> List[Subproblem]:
+    """Decompose from raw path->link-set data (no RoutingMatrix required).
+
+    Without ``link_pods`` this is the exact connected-component decomposition.
+    With ``link_pods`` (link id -> owning pod or ``None``) the paths are
+    pod-sharded instead: single-pod paths go to their pod's shard and every
+    path spanning pods lands in the residual shard (``pod == RESIDUAL_POD``),
+    never in pod 0.
+    """
+    if link_pods is not None:
+        return _pod_shards(
+            enumerate(path_link_sets), link_universe, link_pods, pod_order=pod_order
+        )
     index = IncidenceIndex(path_link_sets, tuple(link_universe))
     return _subproblems_from_components(index.components())
 
 
-def decompose_routing_matrix(routing_matrix: "RoutingMatrix") -> List[Subproblem]:
-    """Connected components of the path/link bipartite graph of a routing matrix."""
+def pod_shards_for_matrix(
+    routing_matrix: "RoutingMatrix",
+    rows: Optional[Sequence[int]] = None,
+    pod_order: Optional[Sequence[int]] = None,
+) -> List[Subproblem]:
+    """Pod-shard a routing matrix's candidate rows (all rows, or a subset).
+
+    ``rows`` restricts the sharding to the given path indices -- the masked
+    (incremental) flow passes the active rows, so links whose candidates all
+    got masked orphan into the residual shard exactly like fully-failed links
+    do in a cold rebuild.  The link universe is always the full index
+    universe, keeping uncoverable-link reporting identical between cold and
+    masked sharded runs.
+    """
+    index = routing_matrix.incidence
+    link_pods = link_pod_map(routing_matrix.topology, index.link_ids)
+    considered = range(index.num_paths) if rows is None else rows
+    index.counters.tick("pod_shards", len(considered))
+    row_items = ((row, index.row_link_set(row)) for row in considered)
+    return _pod_shards(row_items, index.link_ids, link_pods, pod_order=pod_order)
+
+
+def decompose_routing_matrix(
+    routing_matrix: "RoutingMatrix",
+    by_pods: bool = False,
+    pod_order: Optional[Sequence[int]] = None,
+) -> List[Subproblem]:
+    """Subproblems of a routing matrix.
+
+    The default is the exact decomposition: connected components of the
+    path/link bipartite graph.  ``by_pods=True`` switches to the pod-sharded
+    approximate decomposition (see :func:`pod_shards_for_matrix`), the basis
+    of the parallel control plane.
+    """
+    if by_pods:
+        return pod_shards_for_matrix(routing_matrix, pod_order=pod_order)
     return _subproblems_from_components(routing_matrix.incidence.components())

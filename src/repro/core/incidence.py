@@ -736,7 +736,13 @@ class IncidenceIndex:
         ``link_ids`` must be sorted; local id ``i`` stands for the ``i``-th
         smallest link, matching the physical-id numbering of
         :class:`~repro.core.virtual_links.ExtendedLinkSpace`.
+
+        Ticks the ``projection`` kernel counter with the subset size: one
+        projection is built per solved PMC subproblem, so this is the
+        per-shard signal the pod-sharded control plane's kernel gates read
+        (a replayed shard builds no projection and shows a zero delta).
         """
+        self.counters.tick("projection", len(link_ids))
         return RowProjection(self, link_ids)
 
     # -------------------------------------------------------------- exports

@@ -18,7 +18,7 @@ import heapq
 from collections import OrderedDict
 from typing import Callable, Generic, Hashable, Iterable, List, Optional, Tuple, TypeVar
 
-__all__ = ["LazyMinHeap", "BatchCELFHeap", "CELFSolutionCache"]
+__all__ = ["LazyMinHeap", "BatchCELFHeap", "CELFSolutionCache", "ShardedSolutionCache"]
 
 T = TypeVar("T")
 
@@ -385,3 +385,46 @@ class CELFSolutionCache:
 
     def clear(self) -> None:
         self._entries.clear()
+
+
+class ShardedSolutionCache:
+    """Per-pod family of :class:`CELFSolutionCache` instances.
+
+    The pod-sharded control plane keeps warm-start state *per shard* so that
+    churn confined to one pod can only invalidate that pod's cache bucket
+    (plus the shared residual bucket holding the cross-pod paths); the other
+    pods' buckets keep their digests and replay without solving.  Buckets are
+    created on first use and keyed by ``Subproblem.pod`` (``None`` buckets
+    serve non-sharded subproblems, ``RESIDUAL_POD`` the residual shard).
+    """
+
+    def __init__(self, capacity_per_shard: int = 16):
+        if capacity_per_shard < 1:
+            raise ValueError("capacity_per_shard must be >= 1")
+        self._capacity = capacity_per_shard
+        self._buckets: "OrderedDict[Optional[int], CELFSolutionCache]" = OrderedDict()
+
+    def bucket(self, pod: Optional[int]) -> CELFSolutionCache:
+        """The cache bucket of one shard (created on first use)."""
+        cache = self._buckets.get(pod)
+        if cache is None:
+            cache = CELFSolutionCache(capacity=self._capacity)
+            self._buckets[pod] = cache
+        return cache
+
+    def pods(self) -> List[Optional[int]]:
+        return list(self._buckets)
+
+    @property
+    def hits(self) -> int:
+        return sum(cache.hits for cache in self._buckets.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(cache.misses for cache in self._buckets.values())
+
+    def __len__(self) -> int:
+        return sum(len(cache) for cache in self._buckets.values())
+
+    def clear(self) -> None:
+        self._buckets.clear()

@@ -46,11 +46,12 @@ try:  # only used by the numpy-backend batch scorer
 except ImportError:  # pragma: no cover - numpy backend is then unavailable
     _np = None
 
+from ..parallel import pool_map, resolve_jobs
 from ..topology import PathOrbits, Topology
 from .costmodel import CostModel
-from .decomposition import Subproblem, decompose_routing_matrix
+from .decomposition import Subproblem, decompose_routing_matrix, pod_shards_for_matrix
 from .incidence import Backend, RefinablePartition
-from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap
+from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap, ShardedSolutionCache
 from .probe_matrix import ProbeMatrix
 from .virtual_links import ExtendedLinkSpace
 
@@ -61,6 +62,7 @@ __all__ = [
     "PMCOptions",
     "PMCStats",
     "PMCResult",
+    "ShardOutcome",
     "construct_probe_matrix",
     "construct_probe_matrix_masked",
     "pmc_for_topology",
@@ -89,6 +91,20 @@ class PMCOptions:
     max_paths:
         Optional hard cap on the number of selected paths (safety valve for
         experiments; ``None`` means unlimited).
+    shard_by_pods:
+        Replace the exact connected-component decomposition with the pod
+        sharding of :func:`~repro.core.decomposition.pod_shards_for_matrix`:
+        one subproblem per pod plus a residual shard for cross-pod paths.
+        Shards are solved independently (identifiability is refined per
+        shard, not jointly across shards) and merged in canonical shard
+        order, which is what makes the solve parallelisable.  Incompatible
+        with ``use_symmetry`` (orbit batching couples shards).
+    jobs:
+        Worker processes for solving subproblems; ``None`` resolves through
+        the ``REPRO_JOBS`` environment variable (default 1, serial).  Any
+        value produces byte-identical selections, stats and cost counters --
+        only wall-clock time changes.  ``max_paths`` forces a serial solve
+        (its early-stop crosses subproblem boundaries).
     """
 
     alpha: int = 1
@@ -98,17 +114,32 @@ class PMCOptions:
     use_symmetry: bool = False
     skip_zero_gain: bool = True
     max_paths: Optional[int] = None
+    shard_by_pods: bool = False
+    jobs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.alpha < 0:
             raise ValueError("alpha must be non-negative")
         if self.beta < 0:
             raise ValueError("beta must be non-negative")
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.shard_by_pods and self.use_symmetry:
+            raise ValueError(
+                "shard_by_pods is incompatible with use_symmetry: orbit "
+                "batching selects images across shard boundaries"
+            )
+
+    def resolved_jobs(self) -> int:
+        """The effective worker count (explicit ``jobs`` > ``REPRO_JOBS`` > 1)."""
+        return resolve_jobs(self.jobs)
 
     def label(self) -> str:
         """Short human readable tag, e.g. ``(alpha=2, beta=1, lazy+sym)``."""
         opts = []
-        if self.use_decomposition:
+        if self.shard_by_pods:
+            opts.append("pods")
+        elif self.use_decomposition:
             opts.append("decomp")
         if self.use_lazy_update:
             opts.append("lazy")
@@ -194,6 +225,31 @@ class PMCStats:
         return model.as_dict()
 
 
+@dataclass(frozen=True, slots=True)
+class ShardOutcome:
+    """Per-shard provenance of a dispatched (sharded or pooled) PMC solve.
+
+    One record per :class:`~repro.core.decomposition.Subproblem`, in the
+    canonical merge order (pods ascending, residual last; plain components in
+    component order).  ``digest`` is the content digest keying the warm
+    :class:`~repro.core.lazy_greedy.CELFSolutionCache` -- two cycles solved
+    the same shard iff their digests match, which is what the incremental
+    shard-isolation gates compare.  ``kernel_cost`` is the shard's
+    :class:`~repro.core.costmodel.KernelCounters` delta (exact integers,
+    byte-identical across backends and across ``jobs`` settings; empty for
+    warm-cache replays, which perform no kernel work).
+    """
+
+    pod: Optional[int]
+    num_links: int
+    num_paths: int
+    num_selected: int
+    digest: str
+    reused: bool
+    cost_counters: Dict[str, int]
+    kernel_cost: Dict[str, int]
+
+
 @dataclass
 class PMCResult:
     """Outcome of a PMC run: the probe matrix plus provenance."""
@@ -202,10 +258,19 @@ class PMCResult:
     selected_indices: Tuple[int, ...]
     options: PMCOptions
     stats: PMCStats
+    #: Per-shard records when the solve was dispatched (``shard_by_pods`` or
+    #: ``jobs > 1``); ``None`` for the plain serial path.
+    shards: Optional[Tuple[ShardOutcome, ...]] = None
 
     @property
     def num_paths(self) -> int:
         return len(self.selected_indices)
+
+    def shard_digests(self) -> Dict[Optional[int], str]:
+        """``{pod: digest}`` of the dispatched shards (empty when serial)."""
+        if not self.shards:
+            return {}
+        return {outcome.pod: outcome.digest for outcome in self.shards}
 
 
 def construct_probe_matrix(
@@ -236,7 +301,9 @@ def construct_probe_matrix(
     start = time.perf_counter()
     stats = PMCStats(fully_refined=True, coverage_satisfied=True)
 
-    if options.use_decomposition:
+    if options.shard_by_pods:
+        subproblems = decompose_routing_matrix(routing_matrix, by_pods=True)
+    elif options.use_decomposition:
         subproblems = decompose_routing_matrix(routing_matrix)
     else:
         subproblems = [
@@ -247,16 +314,28 @@ def construct_probe_matrix(
         ]
     stats.subproblems = len(subproblems)
 
-    selected: List[int] = []
-    for subproblem in subproblems:
-        sub_selected, sub_stats = _solve_subproblem(
-            routing_matrix, subproblem, options, orbits
+    jobs = options.resolved_jobs()
+    dispatch = (
+        options.max_paths is None
+        and not options.use_symmetry
+        and (options.shard_by_pods or (jobs > 1 and len(subproblems) > 1))
+    )
+    shard_outcomes: Optional[Tuple[ShardOutcome, ...]] = None
+    if dispatch:
+        selected, shard_outcomes = _dispatch_subproblems(
+            routing_matrix, subproblems, options, stats, jobs
         )
-        selected.extend(sub_selected)
-        stats.merge(sub_stats)
-        if options.max_paths is not None and len(selected) >= options.max_paths:
-            selected = selected[: options.max_paths]
-            break
+    else:
+        selected = []
+        for subproblem in subproblems:
+            sub_selected, sub_stats = _solve_subproblem(
+                routing_matrix, subproblem, options, orbits
+            )
+            selected.extend(sub_selected)
+            stats.merge(sub_stats)
+            if options.max_paths is not None and len(selected) >= options.max_paths:
+                selected = selected[: options.max_paths]
+                break
 
     stats.elapsed_seconds = time.perf_counter() - start
     selected_tuple = tuple(selected)
@@ -266,6 +345,7 @@ def construct_probe_matrix(
         selected_indices=selected_tuple,
         options=options,
         stats=stats,
+        shards=shard_outcomes,
     )
 
 
@@ -291,6 +371,136 @@ def pmc_for_topology(
     if options.use_symmetry:
         orbits = PathOrbits.from_walks(topology, [p.nodes for p in paths])
     return construct_probe_matrix(routing_matrix, options, orbits=orbits)
+
+
+# ---------------------------------------------------------------------------
+# sharded / pooled dispatch
+# ---------------------------------------------------------------------------
+
+#: Per-worker solve context: ``(routing_matrix, options, coverage_counts)``.
+#: Installed once per worker process by the pool initializer so the routing
+#: matrix crosses the process boundary a single time, not once per shard.
+_SHARD_CONTEXT: Optional[Tuple["RoutingMatrix", PMCOptions, object]] = None
+
+
+def _init_shard_context(routing_matrix, options, coverage_counts) -> None:
+    global _SHARD_CONTEXT
+    _SHARD_CONTEXT = (routing_matrix, options, coverage_counts)
+
+
+def _solve_shard_task(subproblem: Subproblem):
+    """Pool entry point: solve one shard against the worker's context."""
+    routing_matrix, options, coverage_counts = _SHARD_CONTEXT
+    return _solve_shard(routing_matrix, subproblem, options, coverage_counts)
+
+
+def _solve_shard(
+    routing_matrix: "RoutingMatrix",
+    subproblem: Subproblem,
+    options: PMCOptions,
+    coverage_counts,
+):
+    """Solve one shard and capture the kernel-counter delta it caused.
+
+    The delta is read off the index's :class:`~repro.core.costmodel.KernelCounters`
+    around the solve, so it is the same whether the solve ran inline (ticking
+    the parent's counters) or in a worker (ticking the pickled copy's) --
+    that equivalence is what keeps per-shard kernel gates invariant to
+    ``jobs``.  ``coverage_counts`` is precomputed by the dispatching parent
+    for the same reason: workers must not each re-derive (and re-tick) it.
+    """
+    counters = routing_matrix.incidence.counters
+    before = counters.as_dict()
+    selected, sub_stats = _solve_subproblem(
+        routing_matrix, subproblem, options, orbits=None, coverage_counts=coverage_counts
+    )
+    after = counters.as_dict()
+    kernel_cost = {
+        name: value - before.get(name, 0)
+        for name, value in after.items()
+        if value != before.get(name, 0)
+    }
+    return selected, sub_stats, kernel_cost
+
+
+def _solve_many(
+    routing_matrix: "RoutingMatrix",
+    subproblems: Sequence[Subproblem],
+    options: PMCOptions,
+    jobs: int,
+    coverage_counts,
+) -> List[Tuple[List[int], PMCStats, Dict[str, int]]]:
+    """Solve a batch of subproblems inline (``jobs == 1``) or over a pool.
+
+    Either way the returned list is ordered like *subproblems* and every
+    entry is ``(selection, stats, kernel_cost_delta)`` -- byte-identical at
+    any ``jobs`` setting, because workers run the exact same
+    :func:`_solve_subproblem` on a pickled copy of the same inputs.
+    """
+    global _SHARD_CONTEXT
+    if jobs == 1 or len(subproblems) <= 1:
+        return [
+            _solve_shard(routing_matrix, subproblem, options, coverage_counts)
+            for subproblem in subproblems
+        ]
+    try:
+        return pool_map(
+            _solve_shard_task,
+            list(subproblems),
+            jobs=jobs,
+            initializer=_init_shard_context,
+            initargs=(routing_matrix, options, coverage_counts),
+        )
+    finally:
+        _SHARD_CONTEXT = None
+
+
+def _dispatch_subproblems(
+    routing_matrix: "RoutingMatrix",
+    subproblems: Sequence[Subproblem],
+    options: PMCOptions,
+    stats: PMCStats,
+    jobs: int,
+    coverage_counts=None,
+) -> Tuple[List[int], Tuple[ShardOutcome, ...]]:
+    """Solve subproblems (inline or over a process pool) and merge covers.
+
+    The merge is deterministic: shard selections are concatenated in the
+    canonical subproblem order (pods ascending, residual last) keeping each
+    shard's greedy selection order; should two shards ever nominate the same
+    candidate row, the first (lowest-shard) occurrence wins -- the canonical
+    path id tie-break.  Because the order depends only on the subproblem
+    list, the result is byte-identical at any ``jobs`` setting.
+    """
+    index = routing_matrix.incidence
+    if coverage_counts is None:
+        coverage_counts = index.coverage_counts()
+    results = _solve_many(routing_matrix, subproblems, options, jobs, coverage_counts)
+
+    selected: List[int] = []
+    seen: Set[int] = set()
+    outcomes: List[ShardOutcome] = []
+    for subproblem, (sub_selected, sub_stats, kernel_cost) in zip(subproblems, results):
+        for row in sub_selected:
+            if row not in seen:
+                seen.add(row)
+                selected.append(row)
+        stats.merge(sub_stats)
+        outcomes.append(
+            ShardOutcome(
+                pod=subproblem.pod,
+                num_links=subproblem.num_links,
+                num_paths=subproblem.num_paths,
+                num_selected=len(sub_selected),
+                digest=_subproblem_digest(
+                    index, subproblem.link_ids, subproblem.path_indices, options
+                ).hex(),
+                reused=False,
+                cost_counters=sub_stats.cost_counters(),
+                kernel_cost=kernel_cost,
+            )
+        )
+    return selected, tuple(outcomes)
 
 
 # ---------------------------------------------------------------------------
@@ -350,10 +560,17 @@ def construct_probe_matrix_masked(
       which is the same relative order a cold rebuild's re-densified rows
       have.
 
-    ``warm`` is an optional :class:`CELFSolutionCache`: subproblems whose
-    digest (links, surviving rows, options) matches a previously solved one
-    replay the cached selection without touching a heap, so steady-state
-    cycles with little or no churn skip CELF almost entirely.
+    ``warm`` is an optional :class:`CELFSolutionCache` (or, for the
+    pod-sharded control plane, a :class:`ShardedSolutionCache` holding one
+    bucket per pod): subproblems whose digest (links, surviving rows,
+    options) matches a previously solved one replay the cached selection
+    without touching a heap, so steady-state cycles with little or no churn
+    skip CELF almost entirely.  With ``options.shard_by_pods`` the
+    decomposition is the pod sharding of
+    :func:`~repro.core.decomposition.pod_shards_for_matrix` and churn
+    confined to one pod re-solves only that pod's shard plus the shared
+    residual shard; every other shard keeps its digest and replays.
+    Cache misses are dispatched over ``options.jobs`` worker processes.
 
     Symmetry batching is not supported here (orbit indices are only
     meaningful on the matrix the orbits were computed for); callers that need
@@ -373,7 +590,9 @@ def construct_probe_matrix_masked(
     active = index.active_rows()
     active_counts = index.active_coverage_counts()
 
-    if options.use_decomposition:
+    if options.shard_by_pods:
+        subproblems = pod_shards_for_matrix(routing_matrix, rows=active)
+    elif options.use_decomposition:
         subproblems = [
             Subproblem(link_ids=links, path_indices=rows)
             for links, rows in index.components(rows=active)
@@ -387,48 +606,101 @@ def construct_probe_matrix_masked(
         ]
     stats.subproblems = len(subproblems)
 
-    selected: List[int] = []
-    for subproblem in subproblems:
-        digest = None
-        if warm is not None:
-            digest = _subproblem_digest(
-                index, subproblem.link_ids, subproblem.path_indices, options
-            )
-            cached = warm.get(digest)
-            if cached is not None:
-                sub_selected, sub_stats = cached
-                sub_stats = PMCStats(**sub_stats)
-                sub_stats.reused_subproblems = 1
-                # Replayed selections cost no scoring work this cycle.
-                sub_stats.iterations = 0
-                sub_stats.candidates_scored = 0
-                sub_stats.candidates_discarded = 0
-                selected.extend(sub_selected)
-                stats.merge(sub_stats)
-                if options.max_paths is not None and len(selected) >= options.max_paths:
-                    selected = selected[: options.max_paths]
-                    break
-                continue
-        sub_selected, sub_stats = _solve_subproblem(
-            routing_matrix, subproblem, options, orbits=None, coverage_counts=active_counts
+    def bucket_for(subproblem: Subproblem) -> Optional[CELFSolutionCache]:
+        if isinstance(warm, ShardedSolutionCache):
+            return warm.bucket(subproblem.pod)
+        return warm
+
+    if options.max_paths is not None:
+        # The path cap's early stop crosses subproblem boundaries, so this
+        # flavour stays strictly serial (and reports no per-shard records).
+        selected = _masked_serial_capped(
+            routing_matrix, subproblems, options, stats, active_counts, bucket_for
         )
-        if warm is not None:
-            warm.put(
-                digest,
-                (
-                    tuple(sub_selected),
-                    dict(
-                        fully_refined=sub_stats.fully_refined,
-                        coverage_satisfied=sub_stats.coverage_satisfied,
-                        uncoverable_links=sub_stats.uncoverable_links,
+        stats.elapsed_seconds = time.perf_counter() - start
+        selected_tuple = tuple(selected)
+        return PMCResult(
+            probe_matrix=ProbeMatrix.from_selection(routing_matrix, selected_tuple),
+            selected_indices=selected_tuple,
+            options=options,
+            stats=stats,
+        )
+
+    # Phase 1: replay every subproblem whose digest survives in the warm
+    # cache.  Phase 2: dispatch the remaining solves (inline or pooled).
+    # Phase 3: merge in canonical subproblem order, exactly like the cold
+    # dispatch -- so warm, cold, serial and pooled runs all agree byte for
+    # byte on the same inputs.
+    digests = [
+        _subproblem_digest(index, sub.link_ids, sub.path_indices, options)
+        for sub in subproblems
+    ]
+    results: List[Optional[Tuple[List[int], PMCStats, Dict[str, int]]]] = [None] * len(
+        subproblems
+    )
+    reused = [False] * len(subproblems)
+    to_solve: List[int] = []
+    for i, subproblem in enumerate(subproblems):
+        cached = bucket_for(subproblem).get(digests[i]) if warm is not None else None
+        if cached is None:
+            to_solve.append(i)
+            continue
+        cached_selected, cached_stats = cached
+        sub_stats = PMCStats(**cached_stats)
+        sub_stats.reused_subproblems = 1
+        # Replayed selections cost no scoring (or kernel) work this cycle.
+        sub_stats.iterations = 0
+        sub_stats.candidates_scored = 0
+        sub_stats.candidates_discarded = 0
+        results[i] = (list(cached_selected), sub_stats, {})
+        reused[i] = True
+
+    if to_solve:
+        solved = _solve_many(
+            routing_matrix,
+            [subproblems[i] for i in to_solve],
+            options,
+            options.resolved_jobs(),
+            active_counts,
+        )
+        for i, result in zip(to_solve, solved):
+            results[i] = result
+            if warm is not None:
+                sub_selected, sub_stats, _ = result
+                bucket_for(subproblems[i]).put(
+                    digests[i],
+                    (
+                        tuple(sub_selected),
+                        dict(
+                            fully_refined=sub_stats.fully_refined,
+                            coverage_satisfied=sub_stats.coverage_satisfied,
+                            uncoverable_links=sub_stats.uncoverable_links,
+                        ),
                     ),
-                ),
-            )
-        selected.extend(sub_selected)
+                )
+
+    selected: List[int] = []
+    seen: Set[int] = set()
+    outcomes: List[ShardOutcome] = []
+    for i, subproblem in enumerate(subproblems):
+        sub_selected, sub_stats, kernel_cost = results[i]
+        for row in sub_selected:
+            if row not in seen:
+                seen.add(row)
+                selected.append(row)
         stats.merge(sub_stats)
-        if options.max_paths is not None and len(selected) >= options.max_paths:
-            selected = selected[: options.max_paths]
-            break
+        outcomes.append(
+            ShardOutcome(
+                pod=subproblem.pod,
+                num_links=subproblem.num_links,
+                num_paths=subproblem.num_paths,
+                num_selected=len(sub_selected),
+                digest=digests[i].hex(),
+                reused=reused[i],
+                cost_counters=sub_stats.cost_counters(),
+                kernel_cost=kernel_cost,
+            )
+        )
 
     stats.elapsed_seconds = time.perf_counter() - start
     selected_tuple = tuple(selected)
@@ -438,7 +710,60 @@ def construct_probe_matrix_masked(
         selected_indices=selected_tuple,
         options=options,
         stats=stats,
+        shards=tuple(outcomes),
     )
+
+
+def _masked_serial_capped(
+    routing_matrix: "RoutingMatrix",
+    subproblems: Sequence[Subproblem],
+    options: PMCOptions,
+    stats: PMCStats,
+    active_counts,
+    bucket_for,
+) -> List[int]:
+    """The legacy serial masked loop for ``max_paths``-capped runs."""
+    index = routing_matrix.incidence
+    selected: List[int] = []
+    for subproblem in subproblems:
+        digest = _subproblem_digest(
+            index, subproblem.link_ids, subproblem.path_indices, options
+        )
+        bucket = bucket_for(subproblem)
+        cached = bucket.get(digest) if bucket is not None else None
+        if cached is not None:
+            sub_selected, cached_stats = cached
+            sub_stats = PMCStats(**cached_stats)
+            sub_stats.reused_subproblems = 1
+            sub_stats.iterations = 0
+            sub_stats.candidates_scored = 0
+            sub_stats.candidates_discarded = 0
+        else:
+            sub_selected, sub_stats = _solve_subproblem(
+                routing_matrix,
+                subproblem,
+                options,
+                orbits=None,
+                coverage_counts=active_counts,
+            )
+            if bucket is not None:
+                bucket.put(
+                    digest,
+                    (
+                        tuple(sub_selected),
+                        dict(
+                            fully_refined=sub_stats.fully_refined,
+                            coverage_satisfied=sub_stats.coverage_satisfied,
+                            uncoverable_links=sub_stats.uncoverable_links,
+                        ),
+                    ),
+                )
+        selected.extend(sub_selected)
+        stats.merge(sub_stats)
+        if len(selected) >= options.max_paths:
+            selected = selected[: options.max_paths]
+            break
+    return selected
 
 
 # ---------------------------------------------------------------------------

@@ -32,7 +32,7 @@ from __future__ import annotations
 import math
 import time as _wall
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
@@ -181,13 +181,20 @@ class DetectionRecord:
 
 @dataclass
 class CycleRecord:
-    """One controller-cycle event: when, how, and how long it took (wall)."""
+    """One controller-cycle event: when, how, and how long it took (wall).
+
+    ``touched_shards`` mirrors
+    :attr:`~repro.monitor.controller.ControllerCycle.touched_shards`: the pod
+    shards PMC actually re-solved this cycle (``None`` when the controller
+    runs unsharded).
+    """
 
     time: float
     mode: str
     churn: int
     wall_seconds: float
     num_paths: int
+    touched_shards: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -437,6 +444,7 @@ class TelemetryEngine:
                 churn=cycle.delta.churn if cycle.delta is not None else 0,
                 wall_seconds=wall,
                 num_paths=cycle.probe_matrix.num_paths,
+                touched_shards=cycle.touched_shards,
             )
         )
         self._rearm()

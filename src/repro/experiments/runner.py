@@ -21,7 +21,6 @@ from __future__ import annotations
 
 import inspect
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
@@ -214,8 +213,10 @@ def run_all(
         Print progress and the rendered tables as they complete.
     jobs:
         Worker processes for spec entries; ``1`` (the default) runs everything
-        serially in this process.  Results are identical either way -- the
-        pool only changes wall-clock time.
+        serially in this process.  Dispatch rides the shared
+        :func:`repro.parallel.pool_map` (the same plumbing the pod-sharded
+        control plane uses), so results are identical either way -- the pool
+        only changes wall-clock time.
     seed:
         Optional root seed: every spec whose harness accepts ``seed`` gets a
         per-experiment seed derived from it (see :meth:`SeededStreams.spawn_seed`),
@@ -243,13 +244,14 @@ def run_all(
             (name, entry) for name, entry in selected if isinstance(entry, ExperimentSpec)
         ]
         if spec_entries:
-            with ProcessPoolExecutor(max_workers=jobs) as pool:
-                futures = {
-                    name: pool.submit(_execute_spec_timed, entry)
-                    for name, entry in spec_entries
-                }
-                for name, future in futures.items():
-                    results[name] = future.result()
+            from ..parallel import pool_map
+
+            outputs = pool_map(
+                _execute_spec_timed,
+                [entry for _, entry in spec_entries],
+                jobs=jobs,
+            )
+            results = {name: output for (name, _), output in zip(spec_entries, outputs)}
 
     runs: List[ExperimentRun] = []
     for name, entry in selected:

@@ -36,11 +36,12 @@ from ..core import (
     PMCOptions,
     PMCResult,
     ProbeMatrix,
+    ShardedSolutionCache,
     construct_probe_matrix,
     construct_probe_matrix_masked,
 )
 from ..routing import Path, RoutingMatrix, enumerate_candidate_paths
-from ..topology import HealthSnapshot, PathOrbits, Topology, TopologyDelta
+from ..topology import FatTreeTopology, HealthSnapshot, PathOrbits, Topology, TopologyDelta
 from .pinglist import Pinglist, PinglistEntry
 from .watchdog import Watchdog
 
@@ -80,6 +81,22 @@ class ControllerConfig:
         equivalent (it always rebuilds); the default of 8 comfortably covers
         the "handful of devices per 10-minute cycle" churn the paper's
         setting implies.
+    shard_by_pods:
+        Run PMC over the pod-sharded decomposition instead of exact
+        connected components: one subproblem per pod plus a residual shard
+        for cross-pod paths.  Shards solve independently (and in parallel
+        with ``jobs > 1``), the warm cache becomes a
+        :class:`~repro.core.ShardedSolutionCache` with one bucket per pod,
+        and incremental cycles re-solve only the shards the churn touched.
+    jobs:
+        Worker processes for PMC subproblem solves; ``None`` resolves
+        through the ``REPRO_JOBS`` environment variable (default 1).
+        Results are byte-identical at any setting.
+    intrapod_paths:
+        Enumerate the short ``edge -> agg -> edge`` intra-pod candidate
+        paths as well (Fattree only; ignored elsewhere).  Without them every
+        default Fattree candidate crosses the core, so the pod sharding
+        degenerates to a single residual shard.
     """
 
     alpha: int = 3
@@ -95,8 +112,15 @@ class ControllerConfig:
     use_decomposition: bool = True
     ordered_pairs: bool = False
     churn_rebuild_threshold: int = 8
+    shard_by_pods: bool = False
+    jobs: Optional[int] = None
+    intrapod_paths: bool = False
 
     def __post_init__(self) -> None:
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if self.shard_by_pods and self.use_symmetry:
+            raise ValueError("shard_by_pods is incompatible with use_symmetry")
         if self.pingers_per_tor < 1:
             raise ValueError("pingers_per_tor must be >= 1")
         if self.path_replication < 1:
@@ -118,6 +142,11 @@ class ControllerCycle:
     previous cycle (``None`` for the first cycle), and ``changed_pingers``
     which pinglists actually differ from the previous cycle's -- the set a
     production controller would re-push over HTTP (incremental cycles only).
+
+    With ``ControllerConfig.shard_by_pods``, ``touched_shards`` lists the
+    pods whose shard was actually re-solved this cycle (``reused`` is false
+    on its :class:`~repro.core.ShardOutcome`); shards replayed from the warm
+    cache are excluded.  ``None`` when PMC ran unsharded.
     """
 
     version: int
@@ -128,6 +157,7 @@ class ControllerCycle:
     mode: str = "full"
     delta: Optional[TopologyDelta] = None
     changed_pingers: Optional[Tuple[str, ...]] = None
+    touched_shards: Optional[Tuple[int, ...]] = None
 
     @property
     def num_pingers(self) -> int:
@@ -156,7 +186,11 @@ class Controller:
         # memoizes solved CELF subproblems by content digest.
         self._candidate_paths: Optional[List[Path]] = None
         self._full_matrix: Optional[RoutingMatrix] = None
-        self._warm = CELFSolutionCache()
+        # Pod-sharded controllers keep one warm bucket per pod so churn in
+        # one pod cannot evict another pod's cached solution.
+        self._warm = (
+            ShardedSolutionCache() if self.config.shard_by_pods else CELFSolutionCache()
+        )
         self._planned_snapshot: Optional[HealthSnapshot] = None
         self._last_cycle: Optional[ControllerCycle] = None
 
@@ -169,13 +203,18 @@ class Controller:
             use_decomposition=config.use_decomposition,
             use_lazy_update=config.use_lazy_update,
             use_symmetry=config.use_symmetry,
+            shard_by_pods=config.shard_by_pods,
+            jobs=config.jobs,
         )
 
     def candidate_paths(self) -> List[Path]:
         """The pristine topology's candidate paths (computed once, cached)."""
         if self._candidate_paths is None:
+            kwargs = {}
+            if self.config.intrapod_paths and isinstance(self.topology, FatTreeTopology):
+                kwargs["include_intrapod_agg"] = True
             self._candidate_paths = enumerate_candidate_paths(
-                self.topology, ordered=self.config.ordered_pairs
+                self.topology, ordered=self.config.ordered_pairs, **kwargs
             )
         return self._candidate_paths
 
@@ -299,6 +338,13 @@ class Controller:
         changed: Optional[Tuple[str, ...]] = None
         if mode == "incremental" and self._last_cycle is not None:
             changed = self._diff_pinglists(self._last_cycle.pinglists, pinglists)
+        touched: Optional[Tuple[int, ...]] = None
+        if pmc_result.shards is not None:
+            touched = tuple(
+                shard.pod
+                for shard in pmc_result.shards
+                if shard.pod is not None and not shard.reused
+            )
         self._version += 1
         self._planned_snapshot = self.watchdog.snapshot()
         cycle = ControllerCycle(
@@ -310,6 +356,7 @@ class Controller:
             mode=mode,
             delta=delta,
             changed_pingers=changed,
+            touched_shards=touched,
         )
         self._last_cycle = cycle
         return cycle

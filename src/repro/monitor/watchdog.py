@@ -138,6 +138,27 @@ class Watchdog:
             failed.update(link.link_id for link in self.topology.links_of(switch))
         return failed
 
+    def failed_probe_link_ids_by_pod(self) -> Dict[Optional[int], Set[int]]:
+        """:meth:`failed_probe_link_ids`, partitioned by owning pod.
+
+        Keys follow :func:`~repro.core.decomposition.link_pod_map`: pod number
+        when both link endpoints live in that pod, ``None`` for cross-pod and
+        pod-less links (which the sharded control plane routes to the residual
+        shard).  Pods without failures are absent, so the key set is exactly
+        the set of shards whose health changed -- the signal a pod-sharded
+        controller uses to know which shards a delta can possibly touch.
+        """
+        from ..core import link_pod_map
+
+        failed = self.failed_probe_link_ids()
+        if not failed:
+            return {}
+        pods = link_pod_map(self.topology, sorted(failed))
+        by_pod: Dict[Optional[int], Set[int]] = {}
+        for link_id in sorted(failed):
+            by_pod.setdefault(pods[link_id], set()).add(link_id)
+        return by_pod
+
     def probe_topology(self) -> Topology:
         """The post-failure topology, with known-bad links and switches removed.
 

@@ -1,0 +1,110 @@
+"""Deterministic process-pool plumbing shared by PMC sharding and the runner.
+
+Two consumers fan work out over processes:
+
+* the pod-sharded control plane (``repro.core.pmc`` with
+  ``PMCOptions.shard_by_pods`` / ``jobs``) dispatches per-pod
+  :class:`~repro.core.decomposition.Subproblem` solves, and
+* the experiment sweep runner (``repro.experiments.runner.run_all``)
+  dispatches whole table/figure harnesses.
+
+Both go through :func:`pool_map`, which pins the one property every caller
+relies on: **results come back in submission order**, regardless of worker
+count, completion order or scheduling.  Combined with payloads that carry
+every input (specs are plain data; shard workers receive the routing matrix
+once through the pool initializer), parallel output is byte-identical to the
+serial loop at any ``jobs`` setting -- the pool only changes wall-clock time.
+
+``jobs`` resolves like the incidence backend does
+(:func:`repro.core.incidence.resolve_backend`): explicit argument first, then
+the ``REPRO_JOBS`` environment variable, then the serial default of 1.  That
+lets CI run the whole tier-1 suite under ``REPRO_JOBS=4`` without threading a
+flag through every call site.
+
+Worker seeding rides :meth:`repro.simulation.rng.SeededStreams.spawn_seed`:
+:func:`derive_seeds` turns one root seed into per-task seeds keyed by task
+*name*, so a task's seed never depends on submission order or on which worker
+picks it up.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+__all__ = ["resolve_jobs", "pool_map", "derive_seeds"]
+
+_ENV_VAR = "REPRO_JOBS"
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve the worker-process count: explicit argument > ``REPRO_JOBS`` > 1.
+
+    Mirrors :func:`repro.core.incidence.resolve_backend` so the two process
+    knobs of the reproduction (backend, parallelism) configure the same way.
+    """
+    if jobs is None:
+        env = os.environ.get(_ENV_VAR, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{_ENV_VAR} must be a positive integer, got {env!r}"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def pool_map(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    jobs: int = 1,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> List[R]:
+    """Map *fn* over *items*, preserving item order in the result list.
+
+    ``jobs == 1`` (or fewer than two items) runs everything inline in this
+    process -- no pool, no pickling -- which is also the code path the
+    differential tests compare parallel runs against.  ``jobs > 1`` spins up
+    a :class:`~concurrent.futures.ProcessPoolExecutor`; *initializer* runs
+    once per worker (the hook shard dispatch uses to ship the routing matrix
+    a single time instead of once per subproblem).
+
+    The result list is ordered by *submission* index, never by completion
+    order, so callers can zip it back onto ``items`` directly.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1 or len(items) <= 1:
+        if initializer is not None:
+            initializer(*initargs)
+        return [fn(item) for item in items]
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]
+
+
+def derive_seeds(root_seed: int, names: Sequence[str]) -> Dict[str, int]:
+    """Per-task seeds from one root seed, keyed by task name.
+
+    Each seed is ``SeededStreams(root_seed).spawn_seed(name)``: a pure
+    function of ``(root_seed, name)``, so it is independent of the order of
+    *names*, of the jobs count and of worker placement -- the property that
+    makes seeded parallel sweeps replayable.
+    """
+    from .simulation.rng import SeededStreams
+
+    streams = SeededStreams(root_seed)
+    return {name: streams.spawn_seed(name) for name in names}

@@ -393,3 +393,79 @@ class TestIncrementalColdEquivalence:
         recovered = controller.run_incremental_cycle()
         assert recovered.mode == "incremental"
         assert recovered.probe_matrix.to_json() == baseline.probe_matrix.to_json()
+
+
+# ---------------------------------------------------------------------------
+# incremental x pod-sharded: churn in one pod touches exactly its shard
+# (plus the shared residual shard) and leaves every other shard's cache
+# digest and kernel counters untouched
+# ---------------------------------------------------------------------------
+
+class TestShardedIncrementalIsolation:
+    CONFIG = ControllerConfig(alpha=2, beta=1, shard_by_pods=True, intrapod_paths=True)
+
+    def _warmed_controller(self, fattree4):
+        controller = Controller(fattree4, self.CONFIG)
+        controller.run_incremental_cycle()  # full rebuild, seeds nothing
+        warmup = controller.run_incremental_cycle()  # populates the warm cache
+        assert warmup.mode == "incremental"
+        return controller, warmup
+
+    def _pod_owned_link(self, fattree4, pod):
+        from repro.core import link_pod_map
+
+        pods = link_pod_map(fattree4)
+        for link in fattree4.switch_links:
+            if pods[link.link_id] == pod:
+                return link.link_id
+        raise AssertionError(f"no pod-{pod} owned link in Fattree(4)")
+
+    def test_single_pod_churn_touches_one_shard_plus_residual(self, fattree4):
+        from repro.core import RESIDUAL_POD
+
+        controller, warmup = self._warmed_controller(fattree4)
+        before = warmup.pmc_result.shard_digests()
+
+        controller.watchdog.report_failed_link(self._pod_owned_link(fattree4, 0))
+        cycle = controller.run_incremental_cycle()
+        assert cycle.mode == "incremental"
+        # The failed link is owned by pod 0; its candidate rows live in the
+        # pod-0 shard and (for the cross-pod paths crossing it) the residual
+        # shard.  No other pod's shard may be re-solved.
+        assert cycle.touched_shards == (0, RESIDUAL_POD)
+
+        after = {shard.pod: shard for shard in cycle.pmc_result.shards}
+        for pod in (1, 2, 3):
+            # Untouched shards replay from the warm cache: same digest, no
+            # kernel work, no scored candidates.
+            assert after[pod].reused
+            assert after[pod].digest == before[pod]
+            assert after[pod].kernel_cost == {}
+            assert after[pod].cost_counters["greedy_iterations"] == 0
+            assert after[pod].cost_counters["reused_subproblems"] == 1
+        for pod in (0, RESIDUAL_POD):
+            assert not after[pod].reused
+            assert after[pod].digest != before[pod]
+            assert after[pod].kernel_cost  # real per-shard kernel work
+
+    def test_pod_recovery_restores_shard_digests(self, fattree4):
+        controller, warmup = self._warmed_controller(fattree4)
+        before = warmup.pmc_result.shard_digests()
+        bad = self._pod_owned_link(fattree4, 2)
+        controller.watchdog.report_failed_link(bad)
+        controller.run_incremental_cycle()
+        controller.watchdog.apply_delta(TopologyDelta(recovered_links=(bad,)))
+        recovered = controller.run_incremental_cycle()
+        # Recovery returns every shard to its pristine digest, and all of
+        # them replay from the warm cache (the pristine solutions are still
+        # cached in their per-pod buckets).
+        assert recovered.pmc_result.shard_digests() == before
+        assert all(shard.reused for shard in recovered.pmc_result.shards)
+        assert recovered.touched_shards == ()
+
+    def test_zero_churn_sharded_cycle_replays_every_shard(self, fattree4):
+        controller, _ = self._warmed_controller(fattree4)
+        steady = controller.run_incremental_cycle()
+        assert steady.touched_shards == ()
+        assert all(shard.reused for shard in steady.pmc_result.shards)
+        assert steady.pmc_result.stats.candidates_scored == 0

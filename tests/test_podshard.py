@@ -1,0 +1,367 @@
+"""Pod-sharded parallel control plane: regression + differential tests.
+
+The contract under test (ISSUE 7 tentpole): with ``PMCOptions.shard_by_pods``
+the solve decomposes into one subproblem per pod plus a residual shard for
+cross-pod paths, shards solve independently (inline or across a process
+pool), and the merged cover -- selections, stats, cost counters, per-shard
+kernel counters -- is **byte-identical** at any ``jobs`` setting, on either
+incidence backend.  Cross-pod paths must land in the dedicated residual
+shard, never silently in pod 0.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core import (
+    PMCOptions,
+    RESIDUAL_POD,
+    ShardedSolutionCache,
+    Subproblem,
+    construct_probe_matrix,
+    construct_probe_matrix_masked,
+    decompose_by_link_sets,
+    decompose_routing_matrix,
+    link_pod_map,
+    pod_shards_for_matrix,
+)
+from repro.core.incidence import Backend
+from repro.monitor import Controller, ControllerConfig
+from repro.parallel import derive_seeds, pool_map, resolve_jobs
+from repro.routing import RoutingMatrix, enumerate_candidate_paths
+from repro.topology import build_bcube, build_fattree, build_vl2
+
+BACKENDS = [Backend.PYTHON, Backend.NUMPY]
+
+
+# ---------------------------------------------------------------------------
+# Subproblem: slotted, picklable, value-semantic (satellite 1)
+# ---------------------------------------------------------------------------
+
+class TestSubproblemDataclass:
+    def test_is_slotted(self):
+        sub = Subproblem(link_ids=(0, 1), path_indices=(2,), pod=1)
+        assert not hasattr(sub, "__dict__")
+        with pytest.raises((AttributeError, TypeError)):
+            sub.extra = 1  # frozen AND slotted: no spurious attributes
+
+    def test_equality_and_hash(self):
+        a = Subproblem(link_ids=(0, 1), path_indices=(2, 3), pod=None)
+        b = Subproblem(link_ids=(0, 1), path_indices=(2, 3), pod=None)
+        c = Subproblem(link_ids=(0, 1), path_indices=(2, 3), pod=RESIDUAL_POD)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_repr_regression(self):
+        sub = Subproblem(link_ids=(4, 7), path_indices=(0, 5), pod=2)
+        assert repr(sub) == "Subproblem(link_ids=(4, 7), path_indices=(0, 5), pod=2)"
+
+    def test_pickle_round_trip(self):
+        sub = Subproblem(link_ids=(0, 1, 9), path_indices=(3,), pod=RESIDUAL_POD)
+        clone = pickle.loads(pickle.dumps(sub))
+        assert clone == sub
+        assert clone.num_links == 3 and clone.num_paths == 1
+
+    def test_counts(self):
+        sub = Subproblem(link_ids=(1, 2, 3), path_indices=(0, 1))
+        assert sub.num_links == 3
+        assert sub.num_paths == 2
+        assert sub.pod is None
+
+
+# ---------------------------------------------------------------------------
+# Residual-shard assignment (satellite 2)
+# ---------------------------------------------------------------------------
+
+class TestResidualShard:
+    # Links 0,1 owned by pod 0; links 2,3 by pod 1; link 4 cross-pod (None).
+    LINK_PODS = {0: 0, 1: 0, 2: 1, 3: 1, 4: None}
+    UNIVERSE = (0, 1, 2, 3, 4)
+
+    def test_cross_pod_paths_go_to_residual_not_pod0(self):
+        subsets = [
+            frozenset({0, 1}),   # pod 0
+            frozenset({2, 3}),   # pod 1
+            frozenset({0, 2}),   # spans pods 0 and 1 -> residual
+            frozenset({1, 4}),   # touches an unowned link -> residual
+        ]
+        shards = decompose_by_link_sets(subsets, self.UNIVERSE, link_pods=self.LINK_PODS)
+        by_pod = {shard.pod: shard for shard in shards}
+        assert set(by_pod) == {0, 1, RESIDUAL_POD}
+        assert by_pod[0].path_indices == (0,)
+        assert by_pod[1].path_indices == (1,)
+        # The spanning paths are in the residual shard -- pod 0 must not have
+        # inherited them.
+        assert by_pod[RESIDUAL_POD].path_indices == (2, 3)
+        assert 2 not in by_pod[0].path_indices
+        assert 3 not in by_pod[0].path_indices
+
+    def test_canonical_order_pods_ascending_residual_last(self):
+        subsets = [frozenset({2, 3}), frozenset({0, 4}), frozenset({0, 1})]
+        shards = decompose_by_link_sets(subsets, self.UNIVERSE, link_pods=self.LINK_PODS)
+        assert [shard.pod for shard in shards] == [0, 1, RESIDUAL_POD]
+
+    def test_pod_order_hint_does_not_change_output(self):
+        subsets = [frozenset({0, 1}), frozenset({2, 3}), frozenset({0, 2})]
+        default = decompose_by_link_sets(subsets, self.UNIVERSE, link_pods=self.LINK_PODS)
+        for hint in ([1, 0], [0, 1], [1], []):
+            hinted = decompose_by_link_sets(
+                subsets, self.UNIVERSE, link_pods=self.LINK_PODS, pod_order=hint
+            )
+            assert hinted == default
+
+    def test_orphan_links_surface_in_residual(self):
+        # Link 3 is in the universe but no path touches it: it must orphan
+        # into the residual shard (where it will be reported uncoverable),
+        # not vanish.
+        subsets = [frozenset({0, 1}), frozenset({2})]
+        shards = decompose_by_link_sets(subsets, self.UNIVERSE, link_pods=self.LINK_PODS)
+        residual = [s for s in shards if s.pod == RESIDUAL_POD]
+        assert len(residual) == 1
+        assert set(residual[0].link_ids) == {3, 4}
+        assert residual[0].path_indices == ()
+
+    def test_without_link_pods_is_exact_decomposition(self):
+        subsets = [frozenset({0, 1}), frozenset({2, 3})]
+        shards = decompose_by_link_sets(subsets, self.UNIVERSE)
+        assert all(shard.pod is None for shard in shards)
+        assigned = sorted(i for shard in shards for i in shard.path_indices)
+        assert assigned == [0, 1]
+
+    def test_link_pod_map_ownership_rule(self, fattree4):
+        pods = link_pod_map(fattree4)
+        for link in fattree4.switch_links:
+            pod_a = fattree4.node(link.a).pod
+            pod_b = fattree4.node(link.b).pod
+            expected = pod_a if (pod_a is not None and pod_a == pod_b) else None
+            assert pods[link.link_id] == expected
+        # Fattree agg-core links are never pod-owned.
+        assert None in pods.values()
+
+
+class TestPodShardsForMatrix:
+    def test_fattree_intrapod_shards(self, fattree4):
+        paths = enumerate_candidate_paths(
+            fattree4, ordered=False, include_intrapod_agg=True
+        )
+        matrix = RoutingMatrix(fattree4, paths)
+        shards = pod_shards_for_matrix(matrix)
+        assert [shard.pod for shard in shards] == [0, 1, 2, 3, RESIDUAL_POD]
+        pods = link_pod_map(fattree4)
+        assigned = sorted(i for shard in shards for i in shard.path_indices)
+        assert assigned == list(range(len(paths)))
+        for shard in shards:
+            if shard.pod == RESIDUAL_POD:
+                continue
+            # Every link of a pod shard is owned by that pod, and every one
+            # of its paths stays inside the pod.
+            assert all(pods[l] == shard.pod for l in shard.link_ids)
+            for row in shard.path_indices:
+                assert all(pods[l] == shard.pod for l in paths[row].link_ids)
+        # All core-crossing paths live in the residual shard.
+        residual = shards[-1]
+        core_rows = [
+            i for i, p in enumerate(paths) if any(pods[l] is None for l in p.link_ids)
+        ]
+        assert sorted(residual.path_indices) == core_rows
+
+    def test_default_fattree_paths_degenerate_to_residual(self, fattree4):
+        # Without intra-pod paths every default candidate crosses the core,
+        # so the only shard with paths is the residual one.
+        matrix = RoutingMatrix(fattree4, enumerate_candidate_paths(fattree4, ordered=False))
+        shards = decompose_routing_matrix(matrix, by_pods=True)
+        with_paths = [s for s in shards if s.path_indices]
+        assert [s.pod for s in with_paths] == [RESIDUAL_POD]
+
+
+# ---------------------------------------------------------------------------
+# Differential: parallel == serial, byte for byte (tentpole)
+# ---------------------------------------------------------------------------
+
+def _build(name):
+    if name == "fattree4":
+        topology = build_fattree(4)
+        paths = enumerate_candidate_paths(topology, ordered=False, include_intrapod_agg=True)
+    elif name == "vl2":
+        topology = build_vl2(4, 4, 2)
+        paths = enumerate_candidate_paths(topology, ordered=False)
+    else:
+        topology = build_bcube(4, 1)
+        paths = enumerate_candidate_paths(topology, ordered=False)
+    return topology, paths
+
+
+def _assert_results_identical(a, b):
+    assert a.selected_indices == b.selected_indices
+    assert a.probe_matrix.to_json() == b.probe_matrix.to_json()
+    assert a.stats.cost_counters() == b.stats.cost_counters()
+    assert a.stats.uncoverable_links == b.stats.uncoverable_links
+    if a.shards is not None or b.shards is not None:
+        assert a.shard_digests() == b.shard_digests()
+        assert [s.kernel_cost for s in a.shards] == [s.kernel_cost for s in b.shards]
+        assert [s.cost_counters for s in a.shards] == [s.cost_counters for s in b.shards]
+
+
+class TestParallelDifferential:
+    @pytest.mark.parametrize("backend", BACKENDS, ids=[b.value for b in BACKENDS])
+    @pytest.mark.parametrize("name", ["fattree4", "vl2", "bcube"])
+    def test_sharded_invariant_to_jobs(self, name, backend):
+        topology, paths = _build(name)
+        matrix = RoutingMatrix(topology, paths, backend=backend)
+        baseline = construct_probe_matrix(
+            matrix, PMCOptions(alpha=2, beta=1, shard_by_pods=True, jobs=1)
+        )
+        assert baseline.shards is not None
+        for jobs in (2, 8):
+            parallel = construct_probe_matrix(
+                matrix, PMCOptions(alpha=2, beta=1, shard_by_pods=True, jobs=jobs)
+            )
+            _assert_results_identical(baseline, parallel)
+
+    @pytest.mark.parametrize("name", ["fattree4", "vl2", "bcube"])
+    def test_component_decomposition_invariant_to_jobs(self, name):
+        # jobs > 1 also parallelises the exact component decomposition; the
+        # pooled result must equal the legacy serial loop byte for byte.
+        topology, paths = _build(name)
+        matrix = RoutingMatrix(topology, paths)
+        serial = construct_probe_matrix(matrix, PMCOptions(alpha=2, beta=1, jobs=1))
+        pooled = construct_probe_matrix(matrix, PMCOptions(alpha=2, beta=1, jobs=2))
+        assert serial.selected_indices == pooled.selected_indices
+        assert serial.stats.cost_counters() == pooled.stats.cost_counters()
+        assert serial.probe_matrix.to_json() == pooled.probe_matrix.to_json()
+
+    def test_sharded_masked_equals_sharded_cold(self, fattree4):
+        paths = enumerate_candidate_paths(fattree4, ordered=False, include_intrapod_agg=True)
+        matrix = RoutingMatrix(fattree4, paths)
+        options = PMCOptions(alpha=2, beta=1, shard_by_pods=True)
+        cold = construct_probe_matrix(matrix, options)
+        masked = construct_probe_matrix_masked(matrix, options)
+        _assert_results_identical(cold, masked)
+
+    def test_sharded_warm_replay_is_identical_and_free(self, fattree4):
+        paths = enumerate_candidate_paths(fattree4, ordered=False, include_intrapod_agg=True)
+        matrix = RoutingMatrix(fattree4, paths)
+        options = PMCOptions(alpha=2, beta=1, shard_by_pods=True, jobs=2)
+        warm = ShardedSolutionCache()
+        first = construct_probe_matrix_masked(matrix, options, warm=warm)
+        assert all(not shard.reused for shard in first.shards)
+        second = construct_probe_matrix_masked(matrix, options, warm=warm)
+        assert all(shard.reused for shard in second.shards)
+        assert all(shard.kernel_cost == {} for shard in second.shards)
+        assert second.selected_indices == first.selected_indices
+        assert second.shard_digests() == first.shard_digests()
+        assert second.stats.candidates_scored == 0
+
+    def test_shard_outcomes_cover_every_pod(self, fattree4):
+        paths = enumerate_candidate_paths(fattree4, ordered=False, include_intrapod_agg=True)
+        matrix = RoutingMatrix(fattree4, paths)
+        result = construct_probe_matrix(matrix, PMCOptions(alpha=1, beta=1, shard_by_pods=True))
+        assert [shard.pod for shard in result.shards] == [0, 1, 2, 3, RESIDUAL_POD]
+        assert sum(shard.num_paths for shard in result.shards) == len(paths)
+        # Each solved shard reports real (non-empty) kernel work.
+        assert all(shard.kernel_cost for shard in result.shards if shard.num_paths)
+
+
+# ---------------------------------------------------------------------------
+# Options / plumbing
+# ---------------------------------------------------------------------------
+
+class TestOptionsAndPlumbing:
+    def test_shard_by_pods_rejects_symmetry(self):
+        with pytest.raises(ValueError):
+            PMCOptions(shard_by_pods=True, use_symmetry=True)
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError):
+            PMCOptions(jobs=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(jobs=0)
+        with pytest.raises(ValueError):
+            ControllerConfig(shard_by_pods=True, use_symmetry=True)
+
+    def test_resolve_jobs_explicit_env_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+        assert resolve_jobs(3) == 3
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+        assert resolve_jobs(2) == 2  # explicit beats env
+        monkeypatch.setenv("REPRO_JOBS", "zero")
+        with pytest.raises(ValueError):
+            resolve_jobs()
+        with pytest.raises(ValueError):
+            resolve_jobs(0)
+
+    def test_pool_map_preserves_submission_order(self):
+        items = list(range(7))
+        assert pool_map(_square, items, jobs=1) == [i * i for i in items]
+        assert pool_map(_square, items, jobs=3) == [i * i for i in items]
+
+    def test_derive_seeds_independent_of_order(self):
+        forward = derive_seeds(2017, ["a", "b", "c"])
+        backward = derive_seeds(2017, ["c", "b", "a"])
+        assert forward == backward
+        assert len(set(forward.values())) == 3
+
+    def test_sharded_solution_cache_buckets_are_isolated(self):
+        cache = ShardedSolutionCache(capacity_per_shard=2)
+        cache.bucket(0).put(b"x", 1)
+        cache.bucket(1).put(b"x", 2)
+        assert cache.bucket(0).get(b"x") == 1
+        assert cache.bucket(1).get(b"x") == 2
+        assert cache.bucket(RESIDUAL_POD).get(b"x") is None
+        assert sorted(cache.pods()) == [RESIDUAL_POD, 0, 1]
+        assert cache.hits == 2 and cache.misses == 1
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+
+
+def _square(x):
+    return x * x
+
+
+# ---------------------------------------------------------------------------
+# Sharded controller: incremental == cold, and REPRO_JOBS reaches PMC
+# ---------------------------------------------------------------------------
+
+class TestShardedController:
+    def _config(self, jobs=None):
+        return ControllerConfig(
+            alpha=2, beta=1, shard_by_pods=True, intrapod_paths=True, jobs=jobs
+        )
+
+    def test_sharded_incremental_equals_sharded_cold(self, fattree4):
+        from repro.monitor import Watchdog
+
+        watchdog = Watchdog(fattree4)
+        controller = Controller(fattree4, self._config(), watchdog=watchdog)
+        controller.run_incremental_cycle()
+        bad = [l.link_id for l in fattree4.switch_links[3:5]]
+        for link in bad:
+            watchdog.report_failed_link(link)
+        cycle = controller.run_incremental_cycle()
+        assert cycle.mode == "incremental"
+
+        cold_watchdog = Watchdog(fattree4, failed_link_ids=set(bad))
+        cold = Controller(fattree4, self._config(), watchdog=cold_watchdog)
+        cold._version = cycle.version - 1
+        cold_cycle = cold.run_cycle()
+        assert cycle.probe_matrix.to_json() == cold_cycle.probe_matrix.to_json()
+        assert [p.nodes for p in cycle.probe_matrix.paths] == [
+            p.nodes for p in cold_cycle.probe_matrix.paths
+        ]
+
+    def test_jobs_env_var_reaches_controller(self, fattree4, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "2")
+        sharded = Controller(fattree4, self._config())
+        cycle = sharded.run_cycle()
+        monkeypatch.delenv("REPRO_JOBS")
+        serial = Controller(fattree4, self._config(jobs=1))
+        baseline = serial.run_cycle()
+        assert cycle.probe_matrix.to_json() == baseline.probe_matrix.to_json()
+        assert cycle.touched_shards == baseline.touched_shards == (0, 1, 2, 3, RESIDUAL_POD)

@@ -8,9 +8,13 @@ from hypothesis import strategies as st
 from repro.core import (
     ExtendedLinkSpace,
     LinkSetPartition,
+    PMCOptions,
     ProbeMatrix,
+    RESIDUAL_POD,
     check_identifiability,
+    construct_probe_matrix,
     decompose_by_link_sets,
+    pod_shards_for_matrix,
 )
 from repro.localization import (
     ObservationSet,
@@ -142,6 +146,133 @@ def test_decomposition_is_a_partition(data):
         for path_index in sp.path_indices:
             problems = {link_to_problem[l] for l in subsets[path_index] if l in link_to_problem}
             assert problems == {sp_index}
+
+
+# ---------------------------------------------------------------------------
+# Pod-sharding invariants (the pod-sharded control plane's decomposition)
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def pod_sharding_inputs(draw):
+    """Random link universe with random pod ownership plus candidate paths."""
+    universe, subsets = draw(link_set_sequences())
+    num_pods = draw(st.integers(min_value=1, max_value=4))
+    link_pods = {
+        link: draw(
+            st.one_of(st.none(), st.integers(min_value=0, max_value=num_pods - 1))
+        )
+        for link in universe
+    }
+    return universe, subsets, link_pods, num_pods
+
+
+@given(pod_sharding_inputs())
+@settings(max_examples=60, deadline=None)
+def test_pod_sharding_is_a_partition_with_residual(data):
+    universe, subsets, link_pods, num_pods = data
+    shards = decompose_by_link_sets(subsets, universe, link_pods=link_pods)
+    # Every path is assigned exactly once, and to the right shard: its
+    # owning pod when all its links agree on one, the residual otherwise --
+    # never silently pod 0.
+    assigned = [index for shard in shards for index in shard.path_indices]
+    assert sorted(assigned) == list(range(len(subsets)))
+    for shard in shards:
+        for path_index in shard.path_indices:
+            pods = {link_pods[l] for l in subsets[path_index]}
+            if len(pods) == 1 and None not in pods:
+                assert shard.pod == pods.pop()
+            else:
+                assert shard.pod == RESIDUAL_POD
+    # The shard link universes cover the whole universe (orphans included).
+    all_links = sorted({link for shard in shards for link in shard.link_ids})
+    assert all_links == sorted(universe)
+    # Canonical order: pods ascending, residual last.
+    pods_emitted = [shard.pod for shard in shards]
+    non_residual = [p for p in pods_emitted if p != RESIDUAL_POD]
+    assert non_residual == sorted(non_residual)
+    if RESIDUAL_POD in pods_emitted:
+        assert pods_emitted[-1] == RESIDUAL_POD
+
+
+@given(pod_sharding_inputs(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_pod_sharding_invariant_to_pod_enumeration_order(data, rnd):
+    universe, subsets, link_pods, num_pods = data
+    baseline = decompose_by_link_sets(subsets, universe, link_pods=link_pods)
+    order = list(range(num_pods))
+    rnd.shuffle(order)
+    shuffled = decompose_by_link_sets(
+        subsets, universe, link_pods=link_pods, pod_order=order
+    )
+    assert shuffled == baseline
+
+
+# ---------------------------------------------------------------------------
+# Shard-merge invariance: covers and counters do not depend on jobs or on
+# pod enumeration order, on random Fattree/VL2/BCube instances
+# ---------------------------------------------------------------------------
+
+_TOPOLOGY_FAMILIES = ["fattree", "vl2", "bcube"]
+
+
+def _random_instance(family, seed):
+    from repro.routing import RoutingMatrix, enumerate_candidate_paths
+    from repro.topology import build_bcube, build_fattree, build_vl2
+    import random as _random
+
+    rnd = _random.Random(seed)
+    if family == "fattree":
+        topology = build_fattree(4)
+        paths = enumerate_candidate_paths(
+            topology, ordered=False, include_intrapod_agg=True
+        )
+    elif family == "vl2":
+        topology = build_vl2(*rnd.choice([(2, 4, 2), (4, 4, 2)]))
+        paths = enumerate_candidate_paths(topology, ordered=False)
+    else:
+        topology = build_bcube(rnd.choice([2, 4]), 1)
+        paths = enumerate_candidate_paths(topology, ordered=False)
+    return topology, RoutingMatrix(topology, paths)
+
+
+@given(
+    st.sampled_from(_TOPOLOGY_FAMILIES),
+    st.integers(min_value=0, max_value=2**16),
+    st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=8, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_sharded_cover_invariant_to_jobs(family, seed, alpha):
+    topology, matrix = _random_instance(family, seed)
+    baseline = construct_probe_matrix(
+        matrix, PMCOptions(alpha=alpha, beta=1, shard_by_pods=True, jobs=1)
+    )
+    for jobs in (2, 8):
+        parallel = construct_probe_matrix(
+            matrix, PMCOptions(alpha=alpha, beta=1, shard_by_pods=True, jobs=jobs)
+        )
+        assert parallel.selected_indices == baseline.selected_indices
+        assert parallel.stats.cost_counters() == baseline.stats.cost_counters()
+        assert parallel.shard_digests() == baseline.shard_digests()
+        assert [s.kernel_cost for s in parallel.shards] == [
+            s.kernel_cost for s in baseline.shards
+        ]
+
+
+@given(
+    st.sampled_from(_TOPOLOGY_FAMILIES),
+    st.integers(min_value=0, max_value=2**16),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+def test_pod_shards_of_matrix_invariant_to_pod_order(family, seed, rnd):
+    topology, matrix = _random_instance(family, seed)
+    baseline = pod_shards_for_matrix(matrix)
+    pods = sorted(
+        {p for p in (n.pod for n in topology.nodes.values()) if p is not None}
+    )
+    rnd.shuffle(pods)
+    assert pod_shards_for_matrix(matrix, pod_order=pods) == baseline
 
 
 # ---------------------------------------------------------------------------
