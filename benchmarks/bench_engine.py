@@ -22,21 +22,20 @@ exits non-zero below the floor.  The CI benchmark-smoke job runs quick mode
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import statistics
 import sys
 import time
 
 from repro.engine import DynamicFaultModel, EngineConfig, FlappingLink, TelemetryEngine
 from repro.monitor import ControllerConfig, DetectorSystem
+from repro.obs import Observability, counters_block, write_bench_report, write_snapshot
 from repro.simulation import ChurnSchedule, SeededStreams
 from repro.topology import build_fattree
 
 
 def bench(
     name: str, topology, duration: float, seed: int = 2017, batched: bool = True,
-    shards: int = 16,
+    shards: int = 16, obs: Observability | None = None,
 ) -> dict:
     streams = SeededStreams(seed)
     system = DetectorSystem(
@@ -81,7 +80,9 @@ def bench(
         rng=streams.generator("fault-dynamics"),
         churn_schedule=schedule,
     )
-    engine = TelemetryEngine(system, model, config, rng=streams.generator("probe-jitter"))
+    engine = TelemetryEngine(
+        system, model, config, rng=streams.generator("probe-jitter"), obs=obs
+    )
     result = engine.run(duration)
 
     cycle_walls = [c.wall_seconds for c in result.cycles]
@@ -113,7 +114,7 @@ def bench(
         # Deterministic work counters (aggregation folds, window closes,
         # probe batches): reproducible for a fixed seed on any machine,
         # unlike the wall-clock fields above.
-        "cost_counters": result.counters,
+        **counters_block(result.counters),
     }
 
 
@@ -132,6 +133,15 @@ def main() -> None:
     )
     parser.add_argument("--shards", type=int, default=16, help="aggregator shards")
     parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="run the benchmark with sim-time tracing enabled and write the "
+        "span tree as JSONL (the --min-rate gate then measures traced speed)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the final metrics-registry snapshot as JSON",
+    )
     args = parser.parse_args()
 
     import scipy.sparse.csgraph  # noqa: F401  (warm up lazy imports)
@@ -143,9 +153,11 @@ def main() -> None:
         instances = [("fattree16", build_fattree(16))]
         duration = args.duration or 180.0
 
-    report = {
-        "benchmark": "telemetry_engine_throughput",
-        "config": {
+    obs = Observability.create(tracing=True if args.trace else None)
+    report = write_bench_report(
+        args.out,
+        "telemetry_engine_throughput",
+        config={
             "alpha": 2,
             "beta": 1,
             "scenario": "3 flapping links + mean 1.5 known-churn events/cycle",
@@ -155,16 +167,21 @@ def main() -> None:
             "batched_scheduling": not args.no_batch,
             "aggregator_shards": args.shards,
             "min_rate_gate": args.min_rate,
+            "tracing": obs.tracer is not None,
         },
-        "python_version": platform.python_version(),
-        "rows": [
+        rows=[
             bench(name, topology, duration, batched=not args.no_batch,
-                  shards=args.shards)
+                  shards=args.shards, obs=obs)
             for name, topology in instances
         ],
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
+    )
+    if args.trace and obs.tracer is not None:
+        with open(args.trace, "w") as handle:
+            handle.write(obs.tracer.export_jsonl())
+        print(f"wrote {args.trace}")
+    if args.metrics_out:
+        write_snapshot(args.metrics_out, obs.registry)
+        print(f"wrote {args.metrics_out}")
     failed = []
     for row in report["rows"]:
         print(

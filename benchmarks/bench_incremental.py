@@ -19,14 +19,13 @@ benchmark-smoke job in quick mode; run the full configuration locally with::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import statistics
 import time
 
 import numpy as np
 
 from repro.monitor import Controller, ControllerConfig, Watchdog
+from repro.obs import counters_block, write_bench_report
 from repro.simulation import ChurnSchedule
 from repro.topology import build_bcube, build_fattree
 
@@ -96,6 +95,9 @@ def bench(name: str, topology, cycles: int, seed: int = 2017) -> dict:
         "speedup_full_over_incremental": round(full_mean / max(incr_mean, 1e-9), 2),
         "warm_cache_reuse_fraction": round(reused / max(subproblems, 1), 3),
         "results_identical": True,
+        # Deterministic control-plane work counters of the final incremental
+        # cycle (candidates scored, lazy re-evaluations, reuse events).
+        **counters_block(incr_cycle.pmc_result.stats.cost_counters()),
     }
     return row
 
@@ -123,18 +125,16 @@ def main() -> None:
         ]
         cycles = args.cycles or 6
 
-    report = {
-        "benchmark": "incremental_cycle_latency",
-        "config": {
+    report = write_bench_report(
+        args.out,
+        "incremental_cycle_latency",
+        config={
             "alpha": 2,
             "beta": 1,
             "churn": "mean 1.5 link events/cycle, <= 3 concurrent failures",
         },
-        "python_version": platform.python_version(),
-        "rows": [bench(name, topology, cycles) for name, topology in instances],
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
+        rows=[bench(name, topology, cycles) for name, topology in instances],
+    )
     for row in report["rows"]:
         print(
             f"{row['topology']:>10}: full={row['full_rebuild_mean_seconds']:.3f}s "

@@ -14,12 +14,11 @@ benchmark-smoke job; run locally with::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 
 from repro.core import PMCOptions, construct_probe_matrix
 from repro.core.incidence import Backend
+from repro.obs import counters_block, write_bench_report
 from repro.routing import RoutingMatrix, enumerate_candidate_paths
 from repro.topology import build_fattree
 
@@ -47,7 +46,7 @@ def bench(radix: int) -> dict:
         raise SystemExit(f"backend cost counters diverge on fattree{radix}")
     row["backends_identical"] = True
     row["counters_identical"] = True
-    row["cost_counters"] = counters[Backend.NUMPY]
+    row.update(counters_block(counters[Backend.NUMPY]))
     row["speedup_python_over_numpy"] = round(
         row["python_pmc_seconds"] / max(row["numpy_pmc_seconds"], 1e-9), 2
     )
@@ -67,14 +66,12 @@ def main() -> None:
     bench(4)
 
     radices = (4, 6) if args.quick else (4, 6, 8, 10)
-    report = {
-        "benchmark": "pmc_construction",
-        "config": {"alpha": 2, "beta": 1, "decomposition": True, "lazy_update": True},
-        "python_version": platform.python_version(),
-        "rows": [bench(radix) for radix in radices],
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
+    report = write_bench_report(
+        args.out,
+        "pmc_construction",
+        config={"alpha": 2, "beta": 1, "decomposition": True, "lazy_update": True},
+        rows=[bench(radix) for radix in radices],
+    )
     for row in report["rows"]:
         print(
             f"{row['topology']:>10}: numpy={row['numpy_pmc_seconds']:.3f}s "

@@ -22,8 +22,6 @@ locally with::
 from __future__ import annotations
 
 import argparse
-import json
-import platform
 import time
 
 from repro.core import (
@@ -33,6 +31,7 @@ from repro.core import (
     link_pod_map,
 )
 from repro.monitor import Controller, ControllerConfig
+from repro.obs import counters_block, write_bench_report
 from repro.routing import RoutingMatrix, enumerate_candidate_paths
 from repro.topology import build_bcube, build_fattree, build_vl2
 
@@ -76,7 +75,7 @@ def bench_jobs_invariance(name: str, topology, paths, jobs: int) -> dict:
             for shard in serial.shards
         ],
         "jobs": jobs,
-        "cost_counters": serial.stats.cost_counters(),
+        **counters_block(serial.stats.cost_counters()),
         "byte_identical_across_jobs": True,
         # Informational only -- small instances are dominated by pool spawn.
         "serial_wall_seconds": round(serial_seconds, 4),
@@ -151,15 +150,13 @@ def main() -> None:
         paths = enumerate_candidate_paths(topology, ordered=False, **kwargs)
         rows.append(bench_jobs_invariance(name, topology, paths, args.jobs))
 
-    report = {
-        "benchmark": "podshard_control_plane",
-        "config": {"alpha": 2, "beta": 1, "jobs_gated": args.jobs},
-        "python_version": platform.python_version(),
-        "rows": rows,
-        "churn_isolation": bench_churn_isolation(*fattree),
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
+    report = write_bench_report(
+        args.out,
+        "podshard_control_plane",
+        config={"alpha": 2, "beta": 1, "jobs_gated": args.jobs},
+        rows=rows,
+        churn_isolation=bench_churn_isolation(*fattree),
+    )
     for row in rows:
         print(
             f"{row['topology']:>10}: {len(row['shards'])} shards, "

@@ -17,12 +17,11 @@ Used by the CI benchmark-smoke job in quick mode; run locally with::
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import time
 
 from repro.experiments import ExperimentSuite, run_all
+from repro.obs import counters_block, write_bench_report
 
 
 def build_suite(quick: bool) -> ExperimentSuite:
@@ -79,26 +78,33 @@ def main() -> None:
     if mismatches:
         raise SystemExit(f"serial and --jobs {jobs} sweeps diverge on: {mismatches}")
 
-    report = {
-        "benchmark": "parallel_experiment_runner",
-        "config": {
+    rows = [
+        {
+            "experiment": run.name,
+            "serial_seconds": round(run.elapsed_seconds, 3),  # informational
+            **counters_block({"deterministic_rows": len(run.table.deterministic_rows())}),
+        }
+        for run in serial_runs
+    ]
+    report = write_bench_report(
+        args.out,
+        "parallel_experiment_runner",
+        config={
             "suite": suite.name,
             "experiments": suite.names(),
             "jobs": jobs,
             "seed": args.seed,
         },
-        "python_version": platform.python_version(),
-        "cpu_count": os.cpu_count(),
-        "serial_seconds": round(serial_seconds, 3),
-        "parallel_seconds": round(parallel_seconds, 3),
-        "speedup": round(serial_seconds / max(parallel_seconds, 1e-9), 2),
-        "tables_identical": True,
-        "per_experiment_serial_seconds": {
+        rows=rows,
+        cpu_count=os.cpu_count(),
+        serial_seconds=round(serial_seconds, 3),
+        parallel_seconds=round(parallel_seconds, 3),
+        speedup=round(serial_seconds / max(parallel_seconds, 1e-9), 2),
+        tables_identical=True,
+        per_experiment_serial_seconds={
             run.name: round(run.elapsed_seconds, 3) for run in serial_runs
         },
-    }
-    with open(args.out, "w") as handle:
-        json.dump(report, handle, indent=2)
+    )
     print(
         f"{suite.name}: serial {serial_seconds:.2f}s -> jobs={jobs} {parallel_seconds:.2f}s "
         f"(x{report['speedup']}), tables identical"

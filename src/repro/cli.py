@@ -119,6 +119,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--windows", type=int, default=None, metavar="N",
         help="stop after N windows (default: unbounded; Ctrl-C to stop)",
     )
+    engine_serve.add_argument(
+        "--status-every", type=int, default=0, metavar="N",
+        help="print a registry-sourced status line every N windows (0 = off)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="regenerate a table/figure of the paper")
     experiment.add_argument(
@@ -227,6 +231,29 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="also enumerate edge->agg->edge intra-pod candidate paths",
     )
     parser.add_argument("--seed", type=int, default=2017)
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--metrics-json", default=None, metavar="PATH",
+        help="write metrics-registry snapshots to PATH (run: one final JSON "
+        "document; serve: one JSON line per window)",
+    )
+    obs.add_argument(
+        "--metrics-every", type=int, default=1, metavar="N",
+        help="with serve --metrics-json: write every Nth window (default 1)",
+    )
+    obs.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="enable sim-time tracing and write the span tree as JSONL "
+        "(also enabled by REPRO_TRACE=1)",
+    )
+    obs.add_argument(
+        "--chrome-trace", default=None, metavar="PATH",
+        help="enable tracing and write a chrome://tracing / Perfetto JSON file",
+    )
+    obs.add_argument(
+        "--profile", default=None, metavar="OUT.pstats",
+        help="cProfile exactly one aggregation window into OUT.pstats",
+    )
 
 
 def _add_topology_arguments(parser: argparse.ArgumentParser) -> None:
@@ -466,28 +493,74 @@ def _build_engine(args: argparse.Namespace):
             rng=streams.generator("fault-dynamics"),
             churn_schedule=churn_schedule,
         )
-    engine = TelemetryEngine(system, model, config, rng=streams.generator("probe-jitter"))
+    from repro.obs import Observability
+
+    want_trace = bool(args.trace or args.chrome_trace)
+    obs = Observability.create(
+        tracing=True if want_trace else None,  # None defers to REPRO_TRACE
+        profile_path=args.profile,
+    )
+    engine = TelemetryEngine(
+        system, model, config, rng=streams.generator("probe-jitter"), obs=obs
+    )
     return topology, engine
 
 
+def _print_ignoring_broken_pipe(line: str) -> None:
+    """Print the serve epilogue, tolerating a pipe reader killed by the
+    same Ctrl-C (``... serve | head`` dies downstream first)."""
+    import os
+    import sys
+
+    try:
+        print(line)
+        sys.stdout.flush()
+    except BrokenPipeError:  # pragma: no cover - needs a dead pipe reader
+        # Re-point stdout at devnull so the interpreter's exit-time flush
+        # does not raise a second BrokenPipeError.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+
+
+def _export_observability(args: argparse.Namespace, engine) -> None:
+    """Write the trace artifacts requested on the command line."""
+    obs = engine.obs
+    if obs.tracer is None:
+        return
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            fh.write(obs.tracer.export_jsonl())
+        _print_ignoring_broken_pipe(f"trace written to {args.trace}")
+    if args.chrome_trace:
+        import json
+
+        from repro.obs import to_chrome_trace
+
+        with open(args.chrome_trace, "w", encoding="utf-8") as fh:
+            json.dump(to_chrome_trace(obs.tracer.finished_spans()), fh)
+            fh.write("\n")
+        _print_ignoring_broken_pipe(f"chrome trace written to {args.chrome_trace}")
+
+
 def _cmd_engine_serve(args: argparse.Namespace) -> int:
+    from repro.obs import MetricsJSONWriter, format_status_line
+
     topology, engine = _build_engine(args)
+    registry = engine.obs.registry
     bound = f"{args.windows} windows" if args.windows else (
         f"{args.duration:.0f} s" if args.duration else "unbounded"
     )
     print(f"engine serve: {args.scenario} on {topology.name} ({bound}); Ctrl-C to stop")
+    writer = (
+        MetricsJSONWriter(args.metrics_json, every=args.metrics_every)
+        if args.metrics_json
+        else None
+    )
     served = 0
-    probes = 0
-    lost = 0
-    rejected = 0
     wall = 0.0
     control_wall = 0.0
     try:
         for window in engine.serve(max_windows=args.windows, duration=args.duration):
             served += 1
-            probes += window.probes_sent
-            lost += window.probes_lost
-            rejected += window.rejected_events
             wall += window.wall_seconds
             control_wall += window.control_wall_seconds
             report = window.report
@@ -500,13 +573,29 @@ def _cmd_engine_serve(args: argparse.Namespace) -> int:
                 f"x{window.realtime_factor:,.0f} realtime "
                 f"suspects={suspects if suspects else '[]'}"
             )
+            if writer is not None:
+                writer.write(report.index, report.end, registry)
+            if args.status_every and served % args.status_every == 0:
+                print(f"  {format_status_line(registry, served, wall)}")
     except KeyboardInterrupt:  # pragma: no cover - interactive escape hatch
-        print("  ... interrupted")
+        _print_ignoring_broken_pipe("  ... interrupted")
+    finally:
+        if writer is not None:
+            writer.close()
+        _export_observability(args, engine)
+    # The final summary is sourced from the metrics registry -- the same
+    # totals --metrics-json exports -- not from loop-local tallies, so it is
+    # identical whether the loop finished cleanly or was interrupted.
+    probes = int(registry.value("probes_sent"))
+    lost = int(registry.value("probes_lost"))
+    rejected = int(registry.value("aggregator_events_rejected"))
+    cycles = int(registry.value("controller_cycles"))
     streaming_wall = max(wall - control_wall, 0.0)
     rate = probes / streaming_wall if streaming_wall > 0 else 0.0
-    print(
+    _print_ignoring_broken_pipe(
         f"served {served} windows: {probes} probes ({lost} lost, {rejected} late), "
-        f"wall {wall:.3f}s ({control_wall:.3f}s control), {rate:,.0f} probe events/s"
+        f"{cycles} cycles, wall {wall:.3f}s ({control_wall:.3f}s control), "
+        f"{rate:,.0f} probe events/s"
     )
     return 0
 
@@ -516,6 +605,12 @@ def _cmd_engine(args: argparse.Namespace) -> int:
         return _cmd_engine_serve(args)
     topology, engine = _build_engine(args)
     result = engine.run(args.duration)
+    if args.metrics_json:
+        from repro.obs import write_snapshot
+
+        write_snapshot(args.metrics_json, engine.obs.registry)
+        print(f"metrics snapshot written to {args.metrics_json}")
+    _export_observability(args, engine)
 
     print(f"engine: {args.scenario} on {topology.name}, {args.duration:.0f} s simulated")
     for key, value in result.summary().items():

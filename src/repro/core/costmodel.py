@@ -84,6 +84,19 @@ class CostModel:
         """Plain ``{name: int}`` view in sorted key order (JSON-stable)."""
         return {name: int(self._counts[name]) for name in sorted(self._counts)}
 
+    def delta_since(self, before: Mapping[str, int]) -> Dict[str, int]:
+        """Sparse counter delta relative to an earlier :meth:`as_dict` snapshot.
+
+        Only counters that moved appear, in sorted key order -- the shape the
+        per-shard kernel gates compare (``ShardOutcome.kernel_cost``), where a
+        replayed shard must show exactly ``{}``.
+        """
+        return {
+            name: self._counts[name] - before.get(name, 0)
+            for name in sorted(self._counts)
+            if self._counts[name] != before.get(name, 0)
+        }
+
     def clear(self) -> None:
         self._counts.clear()
 

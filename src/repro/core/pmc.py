@@ -46,7 +46,8 @@ try:  # only used by the numpy-backend batch scorer
 except ImportError:  # pragma: no cover - numpy backend is then unavailable
     _np = None
 
-from ..parallel import pool_map, resolve_jobs
+from ..obs import tracing
+from ..parallel import WorkerTelemetry, merge_worker_telemetry, pool_map, resolve_jobs
 from ..topology import PathOrbits, Topology
 from .costmodel import CostModel
 from .decomposition import Subproblem, decompose_routing_matrix, pod_shards_for_matrix
@@ -321,21 +322,34 @@ def construct_probe_matrix(
         and (options.shard_by_pods or (jobs > 1 and len(subproblems) > 1))
     )
     shard_outcomes: Optional[Tuple[ShardOutcome, ...]] = None
-    if dispatch:
-        selected, shard_outcomes = _dispatch_subproblems(
-            routing_matrix, subproblems, options, stats, jobs
-        )
-    else:
-        selected = []
-        for subproblem in subproblems:
-            sub_selected, sub_stats = _solve_subproblem(
-                routing_matrix, subproblem, options, orbits
+    with tracing.span(
+        "pmc.construct",
+        paths=routing_matrix.num_paths,
+        subproblems=len(subproblems),
+        sharded=options.shard_by_pods,
+    ):
+        if dispatch:
+            selected, shard_outcomes = _dispatch_subproblems(
+                routing_matrix, subproblems, options, stats, jobs
             )
-            selected.extend(sub_selected)
-            stats.merge(sub_stats)
-            if options.max_paths is not None and len(selected) >= options.max_paths:
-                selected = selected[: options.max_paths]
-                break
+        else:
+            selected = []
+            for subproblem in subproblems:
+                solve_started = time.perf_counter()
+                sub_selected, sub_stats = _solve_subproblem(
+                    routing_matrix, subproblem, options, orbits
+                )
+                selected.extend(sub_selected)
+                stats.merge(sub_stats)
+                _record_shard_span(
+                    subproblem,
+                    len(sub_selected),
+                    False,
+                    WorkerTelemetry(wall_seconds=time.perf_counter() - solve_started),
+                )
+                if options.max_paths is not None and len(selected) >= options.max_paths:
+                    selected = selected[: options.max_paths]
+                    break
 
     stats.elapsed_seconds = time.perf_counter() - start
     selected_tuple = tuple(selected)
@@ -408,19 +422,20 @@ def _solve_shard(
     that equivalence is what keeps per-shard kernel gates invariant to
     ``jobs``.  ``coverage_counts`` is precomputed by the dispatching parent
     for the same reason: workers must not each re-derive (and re-tick) it.
+
+    Returns ``(selection, stats, telemetry)`` where the
+    :class:`~repro.parallel.WorkerTelemetry` carries the kernel delta
+    (deterministic) and the solve's own wall seconds (informational).
     """
     counters = routing_matrix.incidence.counters
     before = counters.as_dict()
+    started = time.perf_counter()
     selected, sub_stats = _solve_subproblem(
         routing_matrix, subproblem, options, orbits=None, coverage_counts=coverage_counts
     )
-    after = counters.as_dict()
-    kernel_cost = {
-        name: value - before.get(name, 0)
-        for name, value in after.items()
-        if value != before.get(name, 0)
-    }
-    return selected, sub_stats, kernel_cost
+    wall = time.perf_counter() - started
+    kernel_cost = counters.cost.delta_since(before)
+    return selected, sub_stats, WorkerTelemetry(wall_seconds=wall, counters=kernel_cost)
 
 
 def _solve_many(
@@ -429,13 +444,16 @@ def _solve_many(
     options: PMCOptions,
     jobs: int,
     coverage_counts,
-) -> List[Tuple[List[int], PMCStats, Dict[str, int]]]:
+) -> List[Tuple[List[int], PMCStats, WorkerTelemetry]]:
     """Solve a batch of subproblems inline (``jobs == 1``) or over a pool.
 
     Either way the returned list is ordered like *subproblems* and every
-    entry is ``(selection, stats, kernel_cost_delta)`` -- byte-identical at
-    any ``jobs`` setting, because workers run the exact same
-    :func:`_solve_subproblem` on a pickled copy of the same inputs.
+    entry is ``(selection, stats, telemetry)`` -- byte-identical at any
+    ``jobs`` setting (telemetry wall seconds aside), because workers run the
+    exact same :func:`_solve_subproblem` on a pickled copy of the same
+    inputs.  After a pooled run the workers' kernel deltas are folded back
+    into the parent's index counters, so the parent's kernel *totals* match
+    the inline path's too -- workers ticked their own pickled copies.
     """
     global _SHARD_CONTEXT
     if jobs == 1 or len(subproblems) <= 1:
@@ -444,7 +462,7 @@ def _solve_many(
             for subproblem in subproblems
         ]
     try:
-        return pool_map(
+        results = pool_map(
             _solve_shard_task,
             list(subproblems),
             jobs=jobs,
@@ -453,6 +471,11 @@ def _solve_many(
         )
     finally:
         _SHARD_CONTEXT = None
+    merge_worker_telemetry(
+        (telemetry for _, _, telemetry in results),
+        cost=routing_matrix.incidence.counters.cost,
+    )
+    return results
 
 
 def _dispatch_subproblems(
@@ -480,12 +503,15 @@ def _dispatch_subproblems(
     selected: List[int] = []
     seen: Set[int] = set()
     outcomes: List[ShardOutcome] = []
-    for subproblem, (sub_selected, sub_stats, kernel_cost) in zip(subproblems, results):
+    for subproblem, (sub_selected, sub_stats, telemetry) in zip(subproblems, results):
         for row in sub_selected:
             if row not in seen:
                 seen.add(row)
                 selected.append(row)
         stats.merge(sub_stats)
+        # Parent-side span emission in canonical shard order: workers never
+        # trace themselves, so the span tree is invariant to ``jobs``.
+        _record_shard_span(subproblem, len(sub_selected), False, telemetry)
         outcomes.append(
             ShardOutcome(
                 pod=subproblem.pod,
@@ -497,10 +523,25 @@ def _dispatch_subproblems(
                 ).hex(),
                 reused=False,
                 cost_counters=sub_stats.cost_counters(),
-                kernel_cost=kernel_cost,
+                kernel_cost=dict(telemetry.counters),
             )
         )
     return selected, tuple(outcomes)
+
+
+def _record_shard_span(
+    subproblem: Subproblem, num_selected: int, reused: bool, telemetry: WorkerTelemetry
+) -> None:
+    """One ``pmc.solve`` span per shard, emitted by the dispatching parent."""
+    labels: Dict[str, object] = {
+        "paths": subproblem.num_paths,
+        "links": subproblem.num_links,
+        "selected": num_selected,
+        "reused": reused,
+    }
+    if subproblem.pod is not None:
+        labels["pod"] = subproblem.pod
+    tracing.record("pmc.solve", wall_seconds=telemetry.wall_seconds, **labels)
 
 
 # ---------------------------------------------------------------------------
@@ -631,76 +672,84 @@ def construct_probe_matrix_masked(
     # Phase 3: merge in canonical subproblem order, exactly like the cold
     # dispatch -- so warm, cold, serial and pooled runs all agree byte for
     # byte on the same inputs.
-    digests = [
-        _subproblem_digest(index, sub.link_ids, sub.path_indices, options)
-        for sub in subproblems
-    ]
-    results: List[Optional[Tuple[List[int], PMCStats, Dict[str, int]]]] = [None] * len(
-        subproblems
-    )
-    reused = [False] * len(subproblems)
-    to_solve: List[int] = []
-    for i, subproblem in enumerate(subproblems):
-        cached = bucket_for(subproblem).get(digests[i]) if warm is not None else None
-        if cached is None:
-            to_solve.append(i)
-            continue
-        cached_selected, cached_stats = cached
-        sub_stats = PMCStats(**cached_stats)
-        sub_stats.reused_subproblems = 1
-        # Replayed selections cost no scoring (or kernel) work this cycle.
-        sub_stats.iterations = 0
-        sub_stats.candidates_scored = 0
-        sub_stats.candidates_discarded = 0
-        results[i] = (list(cached_selected), sub_stats, {})
-        reused[i] = True
+    with tracing.span(
+        "pmc.construct",
+        paths=routing_matrix.num_paths,
+        subproblems=len(subproblems),
+        sharded=options.shard_by_pods,
+        masked=True,
+    ):
+        digests = [
+            _subproblem_digest(index, sub.link_ids, sub.path_indices, options)
+            for sub in subproblems
+        ]
+        results: List[Optional[Tuple[List[int], PMCStats, WorkerTelemetry]]] = [
+            None
+        ] * len(subproblems)
+        reused = [False] * len(subproblems)
+        to_solve: List[int] = []
+        for i, subproblem in enumerate(subproblems):
+            cached = bucket_for(subproblem).get(digests[i]) if warm is not None else None
+            if cached is None:
+                to_solve.append(i)
+                continue
+            cached_selected, cached_stats = cached
+            sub_stats = PMCStats(**cached_stats)
+            sub_stats.reused_subproblems = 1
+            # Replayed selections cost no scoring (or kernel) work this cycle.
+            sub_stats.iterations = 0
+            sub_stats.candidates_scored = 0
+            sub_stats.candidates_discarded = 0
+            results[i] = (list(cached_selected), sub_stats, WorkerTelemetry())
+            reused[i] = True
 
-    if to_solve:
-        solved = _solve_many(
-            routing_matrix,
-            [subproblems[i] for i in to_solve],
-            options,
-            options.resolved_jobs(),
-            active_counts,
-        )
-        for i, result in zip(to_solve, solved):
-            results[i] = result
-            if warm is not None:
-                sub_selected, sub_stats, _ = result
-                bucket_for(subproblems[i]).put(
-                    digests[i],
-                    (
-                        tuple(sub_selected),
-                        dict(
-                            fully_refined=sub_stats.fully_refined,
-                            coverage_satisfied=sub_stats.coverage_satisfied,
-                            uncoverable_links=sub_stats.uncoverable_links,
-                        ),
-                    ),
-                )
-
-    selected: List[int] = []
-    seen: Set[int] = set()
-    outcomes: List[ShardOutcome] = []
-    for i, subproblem in enumerate(subproblems):
-        sub_selected, sub_stats, kernel_cost = results[i]
-        for row in sub_selected:
-            if row not in seen:
-                seen.add(row)
-                selected.append(row)
-        stats.merge(sub_stats)
-        outcomes.append(
-            ShardOutcome(
-                pod=subproblem.pod,
-                num_links=subproblem.num_links,
-                num_paths=subproblem.num_paths,
-                num_selected=len(sub_selected),
-                digest=digests[i].hex(),
-                reused=reused[i],
-                cost_counters=sub_stats.cost_counters(),
-                kernel_cost=kernel_cost,
+        if to_solve:
+            solved = _solve_many(
+                routing_matrix,
+                [subproblems[i] for i in to_solve],
+                options,
+                options.resolved_jobs(),
+                active_counts,
             )
-        )
+            for i, result in zip(to_solve, solved):
+                results[i] = result
+                if warm is not None:
+                    sub_selected, sub_stats, _telemetry = result
+                    bucket_for(subproblems[i]).put(
+                        digests[i],
+                        (
+                            tuple(sub_selected),
+                            dict(
+                                fully_refined=sub_stats.fully_refined,
+                                coverage_satisfied=sub_stats.coverage_satisfied,
+                                uncoverable_links=sub_stats.uncoverable_links,
+                            ),
+                        ),
+                    )
+
+        selected: List[int] = []
+        seen: Set[int] = set()
+        outcomes: List[ShardOutcome] = []
+        for i, subproblem in enumerate(subproblems):
+            sub_selected, sub_stats, telemetry = results[i]
+            for row in sub_selected:
+                if row not in seen:
+                    seen.add(row)
+                    selected.append(row)
+            stats.merge(sub_stats)
+            _record_shard_span(subproblem, len(sub_selected), reused[i], telemetry)
+            outcomes.append(
+                ShardOutcome(
+                    pod=subproblem.pod,
+                    num_links=subproblem.num_links,
+                    num_paths=subproblem.num_paths,
+                    num_selected=len(sub_selected),
+                    digest=digests[i].hex(),
+                    reused=reused[i],
+                    cost_counters=sub_stats.cost_counters(),
+                    kernel_cost=dict(telemetry.counters),
+                )
+            )
 
     stats.elapsed_seconds = time.perf_counter() - start
     selected_tuple = tuple(selected)

@@ -52,6 +52,7 @@ import numpy as np
 from ..core.costmodel import CostModel
 from ..core.incidence import Backend, IncidenceIndex
 from ..localization import ObservationSet
+from ..obs import tracing
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (monitor imports engine)
     from ..monitor.pinger import PingerReport
@@ -361,26 +362,32 @@ class StreamAggregator:
         if end < self._window_start:
             raise ValueError("window cannot end before it starts")
         self.cost.add("aggregator_windows_closed")
-        merged_sent = self._merged_sent()
-        merged_lost = self._merged_lost()
-        link_lost = self._index.weighted_col_counts(merged_lost)
-        if self._index.backend is Backend.NUMPY:
-            lossy_mask = merged_lost > 0
-        else:
-            lossy_mask = [count > 0 for count in merged_lost]
-        report = WindowReport(
-            index=self._window_index,
-            start=self._window_start,
-            end=end,
-            observations=ObservationSet.from_counters(merged_sent, merged_lost),
-            probes_sent=self._probes_sent,
-            probes_lost=self._probes_lost,
-            rejected_events=self._rejected,
-            link_ids=self._index.link_ids,
-            link_sent=self._index.weighted_col_counts(merged_sent),
-            link_lost=link_lost,
-            link_lossy_paths=self._index.masked_col_counts(lossy_mask),
-        )
+        with tracing.span(
+            "aggregator.close",
+            window=self._window_index,
+            shards=self.num_shards,
+            events=self.cost.get("aggregator_events_accepted"),
+        ):
+            merged_sent = self._merged_sent()
+            merged_lost = self._merged_lost()
+            link_lost = self._index.weighted_col_counts(merged_lost)
+            if self._index.backend is Backend.NUMPY:
+                lossy_mask = merged_lost > 0
+            else:
+                lossy_mask = [count > 0 for count in merged_lost]
+            report = WindowReport(
+                index=self._window_index,
+                start=self._window_start,
+                end=end,
+                observations=ObservationSet.from_counters(merged_sent, merged_lost),
+                probes_sent=self._probes_sent,
+                probes_lost=self._probes_lost,
+                rejected_events=self._rejected,
+                link_ids=self._index.link_ids,
+                link_sent=self._index.weighted_col_counts(merged_sent),
+                link_lost=link_lost,
+                link_lossy_paths=self._index.masked_col_counts(lossy_mask),
+            )
         if self._history_windows:
             self._history.append(link_lost)
         self._window_index += 1

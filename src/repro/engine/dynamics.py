@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..obs import tracing
 from ..simulation.failures import ChurnSchedule, FailureScenario, LinkFailure, LossMode
 from ..simulation.rng import SeededStreams
 from ..topology import Topology, TopologyDelta
@@ -279,6 +280,7 @@ class DynamicFaultModel:
         self._active_holds[link_id] = holds + 1
         if holds == 0:  # the transitions log records actual state changes only
             self.transitions.append(FaultTransition(now, link_id, True, kind))
+            tracing.record("fault.transition", link=link_id, faulty=True, kind=kind)
         intervals = self.fault_intervals.setdefault(link_id, [])
         if not intervals or intervals[-1][1] is not None:
             intervals.append([now, None])
@@ -294,6 +296,7 @@ class DynamicFaultModel:
             return  # another episode still holds the link down
         del self._active_holds[link_id]
         self.transitions.append(FaultTransition(now, link_id, False, kind))
+        tracing.record("fault.transition", link=link_id, faulty=False, kind=kind)
         self.scenario.remove(link_id)
         intervals = self.fault_intervals.get(link_id)
         if intervals and intervals[-1][1] is None:

@@ -37,6 +37,9 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 import numpy as np
 
 from ..core.costmodel import CostModel
+from ..core.incidence import resolve_backend
+from ..obs import Observability, WindowProfiler, tracing
+from ..parallel import resolve_jobs
 from ..simulation.rng import SeededStreams
 from .aggregator import StreamAggregator, WindowReport
 from .dynamics import DynamicFaultModel
@@ -296,15 +299,33 @@ class ServedWindow:
 
     @property
     def probe_events_per_second(self) -> float:
-        """Streaming-plane throughput over this window."""
+        """Streaming-plane throughput over this window.
+
+        Guarded against degenerate wall clocks: a window with no probes is
+        ``0.0`` regardless of timing, and a positive probe count over a zero
+        or sub-resolution wall delta (coarse timers, replayed traces) is
+        ``inf`` -- never a ``ZeroDivisionError``.
+        """
+        if self.probes_sent <= 0:
+            return 0.0
         wall = self.wall_seconds - self.control_wall_seconds
-        return self.probes_sent / wall if wall > 0 else 0.0
+        if wall <= 0.0:
+            return float("inf")
+        return self.probes_sent / wall
 
     @property
     def realtime_factor(self) -> float:
         """Simulated seconds served per wall second (>1 means ahead of
-        real time; <1 means the serve loop is falling behind)."""
-        return self.report.duration / self.wall_seconds if self.wall_seconds > 0 else 0.0
+        real time; <1 means the serve loop is falling behind).
+
+        Same guards as :attr:`probe_events_per_second`: an empty window is
+        ``0.0``, simulated progress over a zero wall delta is ``inf``.
+        """
+        if self.report.duration <= 0.0:
+            return 0.0
+        if self.wall_seconds <= 0.0:
+            return float("inf")
+        return self.report.duration / self.wall_seconds
 
 
 @dataclass
@@ -330,6 +351,7 @@ class TelemetryEngine:
         fault_model: DynamicFaultModel,
         config: Optional[EngineConfig] = None,
         rng: Optional[np.random.Generator] = None,
+        obs: Optional[Observability] = None,
     ):
         self.system = system
         self.model = fault_model
@@ -362,6 +384,60 @@ class TelemetryEngine:
         self._records: Dict[int, DetectionRecord] = {}
         self._cycle_index = 0
         self._control_wall = 0.0
+        # ------------------------------------------------- observability plane
+        self.obs = obs if obs is not None else Observability.from_env()
+        self.obs.bind_clock(self.loop.clock)
+        # Kernel counters retired with each controller re-arm (the new probe
+        # matrix carries a fresh incidence index) are folded in here so the
+        # ``kernels`` source stays a run-total.
+        self._kernel_totals = CostModel()
+        registry = self.obs.registry
+        registry.register_source("engine_cost", self.cost.as_dict)
+        registry.register_source("scheduler", self._scheduler.telemetry)
+        registry.register_source("loop", self.loop.telemetry)
+        registry.register_source("kernels", self._kernel_source)
+        registry.register_source(
+            "scheduler_drains", self._scheduler.drain_telemetry, informational=True
+        )
+        self._h_detection = registry.histogram(
+            "detection_latency_seconds",
+            help="fault start -> first window whose counters show the losses",
+        )
+        self._h_localization = registry.histogram(
+            "localization_latency_seconds",
+            help="fault start -> first window whose diagnosis names the link",
+        )
+        self._c_windows = registry.counter(
+            "windows_closed", help="aggregation windows closed by the engine"
+        )
+        self._c_detected = registry.counter(
+            "faults_detected", help="ground-truth faults whose losses were observed"
+        )
+        self._c_localized = registry.counter(
+            "faults_localized", help="ground-truth faults a window diagnosis named"
+        )
+        self._c_cycles = registry.counter(
+            "controller_cycles", help="controller-cycle events, labelled by mode"
+        )
+        self._g_cache = registry.gauge(
+            "pmc_shard_cache_hit_ratio",
+            help="fraction of pod shards replayed from cache in the last cycle",
+        )
+        self._g_rate = registry.gauge(
+            "probe_events_per_second",
+            help="streaming-plane probe throughput (wall clock; informational)",
+            informational=True,
+        )
+        registry.gauge(
+            "build_info", help="execution environment of this run", informational=True
+        ).set(
+            1,
+            backend=resolve_backend().value,
+            jobs=resolve_jobs(getattr(system.controller.config, "jobs", None)),
+        )
+        self._profiler = (
+            WindowProfiler(self.obs.profile_path) if self.obs.profile_path else None
+        )
 
     # --------------------------------------------------------------- plumbing
     def _record_outcome(self, path_index: int, time: float, sent: int, lost: int) -> None:
@@ -369,6 +445,19 @@ class TelemetryEngine:
 
     def _record_outcome_batch(self, paths, times, sent, lost) -> None:
         self._aggregator.record_batch(paths, times, sent, lost)
+
+    def _kernel_source(self) -> Dict[str, int]:
+        """Run-total backend-kernel counters, ``kernel_``-prefixed.
+
+        Live counters of the current incidence index plus the totals retired
+        by past controller re-arms; deterministic across backends and jobs
+        (worker deltas are folded back into the parent index by the PMC pool
+        dispatch).
+        """
+        totals = CostModel(self._kernel_totals.as_dict())
+        if self._aggregator is not None:
+            totals.merge(self._aggregator.incidence.counters.cost)
+        return {f"kernel_{name}": count for name, count in totals.as_dict().items()}
 
     def _shard_assignment(self) -> Optional[List[int]]:
         """Pod-keyed shard of each probe path (source node's pod, when the
@@ -386,6 +475,14 @@ class TelemetryEngine:
 
     def _rearm(self) -> None:
         """Point scheduler + aggregator at the current controller cycle."""
+        if (
+            self._aggregator is not None
+            and self._aggregator.incidence is not self.system.probe_matrix.incidence
+        ):
+            # The outgoing cycle's incidence index retires with its kernel
+            # counters; fold them into the run totals (identity-guarded so a
+            # replayed probe matrix is never double-counted).
+            self._kernel_totals.merge(self._aggregator.incidence.counters.cost)
         if self.config.batched_scheduling:
             # The bulk probing kernel needs the path table primed up front.
             self.system.simulator.prime_paths(self.system.probe_matrix.paths)
@@ -402,10 +499,24 @@ class TelemetryEngine:
 
     # ----------------------------------------------------------------- events
     def _close_window(self, end_time: Optional[float] = None) -> None:
-        report = self._aggregator.close_window(end_time)
-        diagnosis = self.system.diagnoser.diagnose(report.observations, report.probes_sent)
+        aggregator = self._aggregator
+        # The span is opened at close time but backdated to the window's open,
+        # so its extent covers the simulated interval the window aggregated.
+        with tracing.span(
+            "engine.window",
+            start=aggregator.window_start,
+            index=aggregator.window_index,
+        ):
+            report = aggregator.close_window(end_time)
+            with tracing.span("pll.diagnose", window=report.index):
+                diagnosis = self.system.diagnoser.diagnose(
+                    report.observations, report.probes_sent
+                )
         self._windows.append(EngineWindow(report=report, diagnosis=diagnosis))
+        self._c_windows.inc()
         self._update_detections(report, diagnosis)
+        if self._profiler is not None:
+            self._profiler.dump()  # the profile brackets exactly one window
 
     def _update_detections(self, report: WindowReport, diagnosis: "DiagnosisReport") -> None:
         # Ground truth: every link whose first fault interval opened before
@@ -422,20 +533,36 @@ class TelemetryEngine:
                 position = index.position(record.link_id)
                 if report.link_lost[position] > 0:
                     record.first_loss_time = report.end
+                    self._observe_detection(record)
             if record.localized_time is None and record.link_id in suspected:
                 record.localized_time = report.end
                 if record.first_loss_time is None:
                     # Localization implies its losses were observed this window.
                     record.first_loss_time = report.end
+                    self._observe_detection(record)
+                self._c_localized.inc()
+                self._h_localization.observe(record.localization_latency)
+
+    def _observe_detection(self, record: DetectionRecord) -> None:
+        self._c_detected.inc()
+        self._h_detection.observe(record.detection_latency)
 
     def _run_controller_cycle(self) -> None:
         self._cycle_index += 1
-        delta = self.model.churn_delta(self._cycle_index - 1)
-        if delta is not None:
-            self.system.watchdog.apply_delta(delta)
-        started = _wall.perf_counter()
-        cycle = self.system.run_controller_cycle(incremental=self.config.incremental_cycles)
-        wall = _wall.perf_counter() - started
+        with tracing.span("controller.cycle", index=self._cycle_index) as cycle_span:
+            delta = self.model.churn_delta(self._cycle_index - 1)
+            if delta is not None:
+                self.system.watchdog.apply_delta(delta)
+            started = _wall.perf_counter()
+            cycle = self.system.run_controller_cycle(
+                incremental=self.config.incremental_cycles
+            )
+            wall = _wall.perf_counter() - started
+            if cycle_span is not None:
+                cycle_span.labels.update(
+                    mode=cycle.mode, paths=cycle.probe_matrix.num_paths
+                )
+                cycle_span.wall_seconds = wall
         self._control_wall += wall
         self._cycles.append(
             CycleRecord(
@@ -447,13 +574,31 @@ class TelemetryEngine:
                 touched_shards=cycle.touched_shards,
             )
         )
+        self._observe_cycle(cycle)
         self._rearm()
+
+    def _observe_cycle(self, cycle) -> None:
+        """Fold one controller cycle's control-plane work into the registry."""
+        registry = self.obs.registry
+        self._c_cycles.inc(mode=cycle.mode)
+        for name, count in cycle.pmc_result.stats.cost_counters().items():
+            registry.counter(f"pmc_{name}").inc(count)
+        shards = cycle.pmc_result.shards
+        if shards:
+            reused = sum(1 for shard in shards if shard.reused)
+            registry.counter("pmc_shards_reused").inc(reused)
+            registry.counter("pmc_shards_solved").inc(len(shards) - reused)
+            self._g_cache.set(reused / len(shards))
 
     # -------------------------------------------------------------------- run
     def run(self, duration: float) -> EngineResult:
         """Simulate ``duration`` seconds of monitoring; returns the timeline."""
         if duration <= 0:
             raise ValueError("duration must be positive")
+        with tracing.activated(self.obs.tracer):
+            return self._run(duration)
+
+    def _run(self, duration: float) -> EngineResult:
         config = self.config
         if self.system.cycle is None or self.system.diagnoser is None:
             self.system.run_controller_cycle(incremental=config.incremental_cycles)
@@ -484,6 +629,8 @@ class TelemetryEngine:
                 self.loop.schedule_at(at, self._run_controller_cycle, PRIORITY_CYCLE)
 
         control_before = self._control_wall
+        if self._profiler is not None:
+            self._profiler.arm()
         wall_started = _wall.perf_counter()
         self.loop.run_until(horizon)
         wall = _wall.perf_counter() - wall_started
@@ -500,6 +647,11 @@ class TelemetryEngine:
         counters.add("probes_sent", self._scheduler.probes_sent)
         counters.add("probes_lost", self._scheduler.probes_lost)
         counters.add("events_processed", self.loop.events_processed)
+        if wall_seconds > 0:
+            self._g_rate.set(
+                self._scheduler.probes_sent
+                / (probe_wall_seconds if probe_wall_seconds > 0 else wall_seconds)
+            )
         return EngineResult(
             config=self.config,
             duration=duration,
@@ -537,28 +689,32 @@ class TelemetryEngine:
         if max_windows is not None and max_windows < 1:
             raise ValueError("max_windows must be at least 1")
         config = self.config
-        if self.system.cycle is None or self.system.diagnoser is None:
-            self.system.run_controller_cycle(incremental=config.incremental_cycles)
-        start = self.loop.clock.now
-        horizon = None if duration is None else start + duration
-        self._rearm()
-        self.model.install(self.loop, math.inf if horizon is None else horizon)
+        # Setup runs under the tracer (the bootstrap cycle emits PMC spans);
+        # the activation is NOT held across yields -- each window re-activates
+        # in _serve_one, so a suspended serve loop never leaks its tracer.
+        with tracing.activated(self.obs.tracer):
+            if self.system.cycle is None or self.system.diagnoser is None:
+                self.system.run_controller_cycle(incremental=config.incremental_cycles)
+            start = self.loop.clock.now
+            horizon = None if duration is None else start + duration
+            self._rearm()
+            self.model.install(self.loop, math.inf if horizon is None else horizon)
 
-        if config.run_controller_cycles:
-            # Cycles self-reschedule one ahead on the same fixed grid as
-            # run() (identical float arithmetic, so identical timestamps).
-            def schedule_cycle(k: int) -> None:
-                at = start + k * config.cycle_seconds
-                if horizon is not None and at >= horizon:
-                    return
+            if config.run_controller_cycles:
+                # Cycles self-reschedule one ahead on the same fixed grid as
+                # run() (identical float arithmetic, so identical timestamps).
+                def schedule_cycle(k: int) -> None:
+                    at = start + k * config.cycle_seconds
+                    if horizon is not None and at >= horizon:
+                        return
 
-                def fire() -> None:
-                    self._run_controller_cycle()
-                    schedule_cycle(k + 1)
+                    def fire() -> None:
+                        self._run_controller_cycle()
+                        schedule_cycle(k + 1)
 
-                self.loop.schedule_at(at, fire, PRIORITY_CYCLE)
+                    self.loop.schedule_at(at, fire, PRIORITY_CYCLE)
 
-            schedule_cycle(1)
+                schedule_cycle(1)
 
         num_windows = None
         trailing = False
@@ -591,10 +747,13 @@ class TelemetryEngine:
             )
         else:
             self.loop.schedule_at(target, self._close_window, PRIORITY_WINDOW)
+        if self._profiler is not None:
+            self._profiler.arm()
         started = _wall.perf_counter()
-        self.loop.run_until(target)
+        with tracing.activated(self.obs.tracer):
+            self.loop.run_until(target)
         wall = _wall.perf_counter() - started
-        return ServedWindow(
+        served = ServedWindow(
             window=self._windows[-1],
             probes_sent=self._scheduler.probes_sent - probes_before,
             probes_lost=self._scheduler.probes_lost - lost_before,
@@ -603,6 +762,10 @@ class TelemetryEngine:
             wall_seconds=wall,
             control_wall_seconds=self._control_wall - control_before,
         )
+        rate = served.probe_events_per_second
+        if math.isfinite(rate):  # keep the informational export strict JSON
+            self._g_rate.set(rate)
+        return served
 
     # ------------------------------------------------------------- snapshot
     @classmethod

@@ -231,6 +231,19 @@ class EventLoop:
         """
         return len(self._heap) - self._cancelled
 
+    def telemetry(self) -> dict:
+        """Loop counters for a metrics-registry source.
+
+        ``loop_events_processed`` is deterministic (pinned across backends by
+        the streaming differential tests); ``loop_pending_events`` reflects
+        heap occupancy at snapshot time, which is also deterministic because
+        snapshots are taken at window boundaries of the sim timeline.
+        """
+        return {
+            "loop_events_processed": self.events_processed,
+            "loop_pending_events": self.pending,
+        }
+
     def next_event_time(self) -> Optional[float]:
         self._drop_cancelled()
         regular = self._heap[0][0] if self._heap else None

@@ -460,3 +460,25 @@ class ProbeScheduler:
     @property
     def num_streams(self) -> int:
         return len(self._streams)
+
+    def telemetry(self) -> Dict[str, int]:
+        """Deterministic probe counters, shaped for a metrics-registry source.
+
+        Byte-identical across backends, jobs counts and machines for a fixed
+        seed and scheduling regime (the same contract as the engine's cost
+        model, which these join in
+        :meth:`~repro.engine.TelemetryEngine.build_result`).
+        """
+        return {
+            "probes_sent": self.probes_sent,
+            "probes_lost": self.probes_lost,
+            "probe_batches_fired": self.batches_fired,
+        }
+
+    def drain_telemetry(self) -> Dict[str, int]:
+        """Informational coalescing statistics (regime-dependent by design)."""
+        return {
+            "coalesced_drains": self.drains,
+            "coalesced_rows_total": self.drain_rows_total,
+            "coalesced_rows_max": self.drain_rows_max,
+        }

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..obs import tracing
 from ..topology import HealthSnapshot, Topology, TopologyDelta
 
 __all__ = ["Watchdog"]
@@ -113,18 +114,24 @@ class Watchdog:
         """Apply a churn delta (e.g. one ``ChurnSchedule`` cycle) to the state."""
         if self.clock is not None:
             self.delta_log.append((float(self.clock.now), delta))
-        for link_id in delta.failed_links:
-            self.report_failed_link(link_id)
-        for link_id in delta.recovered_links:
-            self.report_link_recovered(link_id)
-        for switch in delta.failed_switches:
-            self.report_failed_switch(switch)
-        for switch in delta.recovered_switches:
-            self.report_switch_recovered(switch)
-        for server in delta.failed_servers:
-            self.mark_server_unhealthy(server)
-        for server in delta.recovered_servers:
-            self.mark_server_healthy(server)
+        with tracing.span(
+            "watchdog.delta",
+            churn=delta.churn,
+            failed_links=len(delta.failed_links),
+            recovered_links=len(delta.recovered_links),
+        ):
+            for link_id in delta.failed_links:
+                self.report_failed_link(link_id)
+            for link_id in delta.recovered_links:
+                self.report_link_recovered(link_id)
+            for switch in delta.failed_switches:
+                self.report_failed_switch(switch)
+            for switch in delta.recovered_switches:
+                self.report_switch_recovered(switch)
+            for server in delta.failed_servers:
+                self.mark_server_unhealthy(server)
+            for server in delta.recovered_servers:
+                self.mark_server_healthy(server)
 
     def failed_probe_link_ids(self) -> Set[int]:
         """Every link probe planning must avoid, as original-topology ids.

@@ -1,0 +1,129 @@
+"""Live introspection for serve mode: metrics streaming, status lines, profiling.
+
+The third layer of the observability plane is about *watching the monitor
+while it runs*:
+
+* :class:`MetricsJSONWriter` -- streams per-window registry snapshots as
+  JSONL (``engine serve --metrics-json PATH [--metrics-every N]``), flushed
+  per line so a tailing consumer sees windows as they close;
+* :func:`write_snapshot` -- the one-shot variant ``engine run`` uses for its
+  final snapshot;
+* :func:`format_status_line` -- the periodic ``repro status``-style line
+  serve mode prints every ``--status-every`` windows, sourced from the
+  registry (not from ad-hoc loop-local tallies);
+* :class:`WindowProfiler` -- the opt-in cProfile hook (``--profile
+  OUT.pstats``) the engine brackets around exactly one window: armed at the
+  start of a run/serve advance, dumped at the first window close, inert
+  afterwards, zero overhead when unused.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from .registry import MetricsRegistry
+
+__all__ = [
+    "MetricsJSONWriter",
+    "WindowProfiler",
+    "format_status_line",
+    "write_snapshot",
+]
+
+
+class MetricsJSONWriter:
+    """Append one registry snapshot per served window to a JSONL file.
+
+    ``every=N`` keeps one window in N (the first of each stride), bounding
+    output volume on long serves.  Lines are sorted-key JSON and flushed
+    immediately.  Usable as a context manager.
+    """
+
+    def __init__(self, path: str, every: int = 1):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.path = path
+        self.every = every
+        self.lines_written = 0
+        self._seen = 0
+        self._handle = open(path, "w")
+
+    def write(self, window_index: int, sim_time: float, registry: MetricsRegistry) -> bool:
+        """Write this window's snapshot unless the stride skips it."""
+        self._seen += 1
+        if (self._seen - 1) % self.every:
+            return False
+        payload = {
+            "window": window_index,
+            "sim_time": sim_time,
+            "metrics": registry.snapshot(),
+        }
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        self.lines_written += 1
+        return True
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "MetricsJSONWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def write_snapshot(path: str, registry: MetricsRegistry) -> None:
+    """One indented full snapshot (the ``engine run --metrics-json`` output)."""
+    with open(path, "w") as handle:
+        handle.write(registry.to_json(indent=2))
+        handle.write("\n")
+
+
+def format_status_line(
+    registry: MetricsRegistry, served: int, wall_seconds: float
+) -> str:
+    """The serve-mode periodic stats line, read back from the registry."""
+    probes = registry.value("probes_sent")
+    lost = registry.value("probes_lost")
+    late = registry.value("aggregator_events_rejected")
+    cycles = registry.value("controller_cycles")
+    detections = registry.value("faults_detected")
+    return (
+        f"status: {served} windows | probes {probes:,} ({lost:,} lost, {late} late) | "
+        f"cycles {cycles} | faults detected {detections} | wall {wall_seconds:.3f}s"
+    )
+
+
+class WindowProfiler:
+    """cProfile exactly one window, then get out of the way.
+
+    ``arm()`` starts profiling unless a profile was already dumped;
+    ``dump()`` stops and writes the stats.  The engine arms at the top of a
+    run or serve advance and dumps at the first window close, so the profile
+    brackets one full window of probe scheduling, stream folding and
+    diagnosis -- the steady-state unit of serve-mode work.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._profiler = None
+        self.dumped = False
+
+    def arm(self) -> None:
+        if self.dumped or self._profiler is not None:
+            return
+        import cProfile
+
+        self._profiler = cProfile.Profile()
+        self._profiler.enable()
+
+    def dump(self) -> None:
+        if self._profiler is None:
+            return
+        self._profiler.disable()
+        self._profiler.dump_stats(self.path)
+        self._profiler = None
+        self.dumped = True

@@ -31,9 +31,26 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-__all__ = ["resolve_jobs", "pool_map", "derive_seeds"]
+__all__ = [
+    "resolve_jobs",
+    "pool_map",
+    "derive_seeds",
+    "WorkerTelemetry",
+    "merge_worker_telemetry",
+]
 
 _ENV_VAR = "REPRO_JOBS"
 
@@ -94,6 +111,45 @@ def pool_map(
     ) as pool:
         futures = [pool.submit(fn, item) for item in items]
         return [future.result() for future in futures]
+
+
+@dataclass(frozen=True)
+class WorkerTelemetry:
+    """Telemetry one pooled task carries back to the dispatching parent.
+
+    ``counters`` is the task's *deterministic* counter delta (for PMC shards,
+    the kernel-counter delta the solve caused on the worker's pickled
+    :class:`~repro.core.costmodel.KernelCounters` copy) -- byte-identical
+    whether the task ran inline or in a worker.  ``wall_seconds`` is the
+    task's own wall clock, informational by the usual contract.  The payload
+    is plain data, so it pickles across the pool boundary like every other
+    task result.
+    """
+
+    wall_seconds: float = 0.0
+    counters: Mapping[str, int] = field(default_factory=dict)
+
+
+def merge_worker_telemetry(
+    telemetries: Iterable[Optional[WorkerTelemetry]], cost=None
+) -> float:
+    """Fold per-task telemetry back into the parent, in submission order.
+
+    When *cost* (a :class:`~repro.core.costmodel.CostModel`) is given, every
+    task's counter delta merges into it -- the hook PMC dispatch uses so the
+    parent's kernel totals after a pooled solve match the inline path's
+    (workers tick their own pickled counters, which would otherwise vanish).
+    Returns the summed wall seconds (informational).
+    """
+    total_wall = 0.0
+    for telemetry in telemetries:
+        if telemetry is None:
+            continue
+        total_wall += telemetry.wall_seconds
+        if cost is not None:
+            for name in sorted(telemetry.counters):
+                cost.add(name, telemetry.counters[name])
+    return total_wall
 
 
 def derive_seeds(root_seed: int, names: Sequence[str]) -> Dict[str, int]:
