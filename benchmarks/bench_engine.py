@@ -26,6 +26,7 @@ import statistics
 import sys
 import time
 
+from repro.contracts import informational_wall
 from repro.engine import DynamicFaultModel, EngineConfig, FlappingLink, TelemetryEngine
 from repro.monitor import ControllerConfig, DetectorSystem
 from repro.obs import Observability, counters_block, write_bench_report, write_snapshot
@@ -33,6 +34,7 @@ from repro.simulation import ChurnSchedule, SeededStreams
 from repro.topology import build_fattree
 
 
+@informational_wall("Benchmark wall timings are informational by definition")
 def bench(
     name: str, topology, duration: float, seed: int = 2017, batched: bool = True,
     shards: int = 16, obs: Observability | None = None,

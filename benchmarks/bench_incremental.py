@@ -24,12 +24,14 @@ import time
 
 import numpy as np
 
+from repro.contracts import informational_wall
 from repro.monitor import Controller, ControllerConfig, Watchdog
 from repro.obs import counters_block, write_bench_report
 from repro.simulation import ChurnSchedule
 from repro.topology import build_bcube, build_fattree
 
 
+@informational_wall("Benchmark wall timings are informational by definition")
 def bench(name: str, topology, cycles: int, seed: int = 2017) -> dict:
     config = ControllerConfig(alpha=2, beta=1, churn_rebuild_threshold=8)
 

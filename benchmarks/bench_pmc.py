@@ -16,6 +16,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.contracts import informational_wall
 from repro.core import PMCOptions, construct_probe_matrix
 from repro.core.incidence import Backend
 from repro.obs import counters_block, write_bench_report
@@ -23,6 +24,7 @@ from repro.routing import RoutingMatrix, enumerate_candidate_paths
 from repro.topology import build_fattree
 
 
+@informational_wall("Benchmark wall timings are informational by definition")
 def bench(radix: int) -> dict:
     topology = build_fattree(radix)
     paths = enumerate_candidate_paths(topology, ordered=False)

@@ -24,6 +24,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.contracts import informational_wall
 from repro.core import (
     PMCOptions,
     RESIDUAL_POD,
@@ -36,6 +37,7 @@ from repro.routing import RoutingMatrix, enumerate_candidate_paths
 from repro.topology import build_bcube, build_fattree, build_vl2
 
 
+@informational_wall("Benchmark wall timings are informational by definition")
 def bench_jobs_invariance(name: str, topology, paths, jobs: int) -> dict:
     matrix = RoutingMatrix(topology, paths)
 
@@ -83,6 +85,7 @@ def bench_jobs_invariance(name: str, topology, paths, jobs: int) -> dict:
     }
 
 
+@informational_wall("Benchmark wall timings are informational by definition")
 def bench_churn_isolation(name: str, topology) -> dict:
     config = ControllerConfig(alpha=2, beta=1, shard_by_pods=True, intrapod_paths=True)
     controller = Controller(topology, config)

@@ -20,6 +20,7 @@ import argparse
 import os
 import time
 
+from repro.contracts import informational_wall
 from repro.experiments import ExperimentSuite, run_all
 from repro.obs import counters_block, write_bench_report
 
@@ -44,6 +45,7 @@ def build_suite(quick: bool) -> ExperimentSuite:
     return suite
 
 
+@informational_wall("Benchmark wall timings are informational by definition")
 def sweep(suite: ExperimentSuite, jobs: int, seed: int):
     start = time.perf_counter()
     runs = run_all(suite, verbose=False, jobs=jobs, seed=seed)

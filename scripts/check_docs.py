@@ -26,7 +26,7 @@ from pathlib import Path
 from typing import List, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_DOCS = ["docs/PAPER_MAP.md", "docs/TUNING.md"]
+DEFAULT_DOCS = ["docs/PAPER_MAP.md", "docs/TUNING.md", "docs/INVARIANTS.md"]
 
 BACKTICK = re.compile(r"`([^`]+)`")
 DOTTED = re.compile(r"^repro(?:\.\w+)+$")

@@ -1,0 +1,92 @@
+"""``repro.analysis`` -- the static invariant analyzer behind ``repro lint``.
+
+An AST rule engine (stdlib ``ast`` only) that checks the conventions the
+reproduction's byte-identical determinism rests on: RNG discipline (REP001),
+wall-clock discipline (REP002), pool-boundary pickle safety (REP003), trace
+discipline in workers (REP004), ``REPRO_*`` env-seam discipline (REP005),
+metrics double-booking (REP006) and the layer DAG (REP007).  See
+``docs/INVARIANTS.md`` for the full catalogue.
+
+Run it as ``repro lint src tests benchmarks`` or
+``python -m repro.analysis src tests benchmarks``.
+"""
+
+from .baseline import load_baseline, save_baseline
+from .engine import LintReport, collect_files, render_report, run_lint
+from .findings import RULE_IDS, Finding, parse_suppressions
+from .rules import LAYER_ALLOWED, RESOLVER_MODULES
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "RULE_IDS",
+    "LAYER_ALLOWED",
+    "RESOLVER_MODULES",
+    "collect_files",
+    "load_baseline",
+    "parse_suppressions",
+    "render_report",
+    "run_lint",
+    "save_baseline",
+    "main",
+]
+
+
+def main(argv=None) -> int:
+    """CLI entry point shared by ``python -m repro.analysis`` and ``repro lint``."""
+    import argparse
+    from pathlib import Path
+
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Statically check the determinism/parallelism/observability invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="baseline file of grandfathered findings (default: lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file entirely",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current unsuppressed findings",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as a JSON report to PATH ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root paths are relative to (default: current directory)",
+    )
+    args = parser.parse_args(argv)
+
+    root = Path(args.root) if args.root else Path.cwd()
+    baseline = None if args.no_baseline else root / args.baseline
+    report = run_lint(
+        args.paths,
+        root=root,
+        baseline_path=baseline,
+        update_baseline=args.update_baseline,
+    )
+    if args.json == "-":
+        print(report.to_json(), end="")
+    else:
+        print(render_report(report), end="")
+        if args.json:
+            Path(args.json).write_text(report.to_json())
+    return report.exit_code

@@ -1,0 +1,77 @@
+"""Baseline files: grandfathered findings ``repro lint`` tolerates.
+
+The baseline is a checked-in JSON list of finding fingerprints.  Findings
+that match an entry are filtered from the report; entries that match nothing
+are *stale* and surface as REP000 findings so a fixed violation cannot leave
+a dangling exemption behind.  The acceptance bar for this repo keeps the
+baseline empty for REP001/REP004/REP005/REP007.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from .findings import Finding
+
+__all__ = ["load_baseline", "save_baseline", "apply_baseline"]
+
+_VERSION = 1
+
+
+def load_baseline(path: Path) -> List[Tuple[str, str, str, str]]:
+    """Fingerprints from *path*; an absent file is an empty baseline."""
+    if not path.exists():
+        return []
+    payload = json.loads(path.read_text())
+    entries = payload.get("findings", [])
+    return [
+        (str(e["rule"]), str(e["path"]), str(e["context"]), str(e["message"]))
+        for e in entries
+    ]
+
+
+def save_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Write the fingerprints of *findings* as the new baseline (sorted)."""
+    entries = sorted(
+        {f.fingerprint() for f in findings if f.rule != "REP000"}
+    )
+    payload = {
+        "version": _VERSION,
+        "findings": [
+            {"rule": rule, "path": fpath, "context": context, "message": message}
+            for rule, fpath, context, message in entries
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: List[Tuple[str, str, str, str]], baseline_path: str
+) -> List[Finding]:
+    """Filter baselined findings; flag stale baseline entries as REP000."""
+    remaining: List[Finding] = []
+    unused = {entry: True for entry in baseline}
+    for finding in findings:
+        fp = finding.fingerprint()
+        if fp in unused:
+            unused[fp] = False
+        else:
+            remaining.append(finding)
+    for (rule, fpath, context, message), is_unused in unused.items():
+        if is_unused:
+            remaining.append(
+                Finding(
+                    rule="REP000",
+                    path=baseline_path,
+                    line=1,
+                    col=1,
+                    message=(
+                        f"stale baseline entry: no current {rule} finding matches "
+                        f"{fpath} [{context}] {message!r} -- remove it"
+                    ),
+                    context="<baseline>",
+                )
+            )
+    return remaining

@@ -1,0 +1,224 @@
+"""The ``repro lint`` driver: collect files, run rules, apply suppressions.
+
+Two passes.  Pass 1 parses every file and builds the project view (module
+infos, the call graph REP004 needs).  Pass 2 runs the per-file rules plus
+the project-wide worker-reachability rule, then filters findings through
+inline ``# repro: allow`` suppressions and the checked-in baseline.
+
+Files inside directories named ``lint_fixtures`` are skipped by default --
+that is where the test corpus of deliberately-violating files lives.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .baseline import apply_baseline, load_baseline, save_baseline
+from .findings import Finding, SuppressionIndex, parse_suppressions
+from .rules import FunctionInfo, ModuleInfo, collect_module_info, per_file_findings
+
+__all__ = ["LintReport", "run_lint", "collect_files", "render_report"]
+
+#: Directory names never descended into.
+EXCLUDED_DIRS: Tuple[str, ...] = (
+    "__pycache__",
+    "lint_fixtures",
+    ".git",
+    ".pytest_cache",
+    "node_modules",
+)
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: List[Finding]  # after suppressions + baseline
+    all_findings: List[Finding] = field(default_factory=list)  # pre-baseline
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+    def to_json(self) -> str:
+        payload = {
+            "files_checked": self.files_checked,
+            "count": len(self.findings),
+            "findings": [f.to_dict() for f in sorted_findings(self.findings)],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def sorted_findings(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def collect_files(paths: Sequence[str], root: Path) -> List[Path]:
+    """Every ``.py`` file under *paths* (files or directories), sorted."""
+    collected: Set[Path] = set()
+    for raw in paths:
+        target = (root / raw).resolve() if not Path(raw).is_absolute() else Path(raw)
+        if target.is_file() and target.suffix == ".py":
+            collected.add(target)
+            continue
+        if not target.is_dir():
+            continue
+        for candidate in target.rglob("*.py"):
+            # Exclusions apply below the scanned directory, so a fixture tree
+            # can itself be linted by pointing --root inside it.
+            if any(part in EXCLUDED_DIRS for part in candidate.relative_to(target).parts):
+                continue
+            collected.add(candidate)
+    return sorted(collected)
+
+
+def _module_identity(path: Path, root: Path) -> Tuple[str, str, bool]:
+    """(repo-relative posix path, dotted module name, is_package)."""
+    try:
+        relative = path.resolve().relative_to(root.resolve())
+    except ValueError:
+        relative = Path(path.name)
+    posix = str(PurePosixPath(relative))
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    is_package = parts[-1] == "__init__" if parts else False
+    if is_package:
+        parts = parts[:-1]
+    return posix, ".".join(parts) if parts else relative.stem, is_package
+
+
+# ---------------------------------------------------------------------------
+# REP004: trace calls reachable from pool-worker functions (project-wide)
+# ---------------------------------------------------------------------------
+
+def _rep004_findings(modules: Dict[str, ModuleInfo]) -> List[Finding]:
+    graph: Dict[Tuple[str, str], FunctionInfo] = {}
+    for info in modules.values():
+        for entry in info.functions.values():
+            graph[(entry.module, entry.name)] = entry
+
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, int, str]] = set()
+    for info in modules.values():
+        for root_module, root_name, call_line in info.pool_roots:
+            root = (root_module, root_name)
+            if root not in graph:
+                continue
+            seen: Set[Tuple[str, str]] = set()
+            stack = [root]
+            while stack:
+                vertex = stack.pop()
+                if vertex in seen:
+                    continue
+                seen.add(vertex)
+                entry = graph.get(vertex)
+                if entry is None:
+                    continue
+                for line, col, trace_name in entry.trace_sites:
+                    key = (entry.path, line, trace_name)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    findings.append(
+                        Finding(
+                            rule="REP004",
+                            path=entry.path,
+                            line=line,
+                            col=col,
+                            message=(
+                                f"trace call {trace_name!r} is reachable from pool "
+                                f"worker {root_name!r} (dispatched at "
+                                f"{info.path}:{call_line}); workers must never "
+                                "trace -- spans are parent-side only"
+                            ),
+                            context=f"{entry.module}.{entry.name}",
+                        )
+                    )
+                stack.extend(entry.calls)
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# entry point
+# ---------------------------------------------------------------------------
+
+def run_lint(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    baseline_path: Optional[Path] = None,
+    update_baseline: bool = False,
+) -> LintReport:
+    """Lint *paths* (relative to *root*) and return the filtered report."""
+    root = (root or Path.cwd()).resolve()
+    files = collect_files(paths, root)
+
+    modules: Dict[str, ModuleInfo] = {}
+    suppressions: Dict[str, SuppressionIndex] = {}
+    findings: List[Finding] = []
+
+    for file_path in files:
+        posix, module, is_package = _module_identity(file_path, root)
+        source = file_path.read_text(encoding="utf-8")
+        index = parse_suppressions(posix, source)
+        suppressions[posix] = index
+        findings.extend(index.malformed)
+        try:
+            info = collect_module_info(posix, module, is_package, source)
+        except SyntaxError as error:
+            findings.append(
+                Finding(
+                    rule="REP000",
+                    path=posix,
+                    line=error.lineno or 1,
+                    col=(error.offset or 0) + 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            )
+            continue
+        modules[posix] = info
+
+    for info in modules.values():
+        findings.extend(per_file_findings(info))
+    findings.extend(_rep004_findings(modules))
+
+    # Inline suppressions first (they are the reviewed, reasoned exemptions).
+    unsuppressed = [
+        finding
+        for finding in findings
+        if not suppressions.get(finding.path, SuppressionIndex()).allows(finding)
+    ]
+
+    report = LintReport(
+        findings=unsuppressed, all_findings=findings, files_checked=len(files)
+    )
+
+    if baseline_path is not None:
+        if update_baseline:
+            save_baseline(baseline_path, unsuppressed)
+        posix_baseline = str(
+            PurePosixPath(
+                baseline_path.resolve().relative_to(root)
+                if baseline_path.resolve().is_relative_to(root)
+                else baseline_path
+            )
+        )
+        report.findings = apply_baseline(
+            unsuppressed, load_baseline(baseline_path), posix_baseline
+        )
+    return report
+
+
+def render_report(report: LintReport) -> str:
+    """Human-readable rendering (one line per finding plus a summary)."""
+    lines = [finding.render() for finding in sorted_findings(report.findings)]
+    noun = "finding" if len(report.findings) == 1 else "findings"
+    lines.append(
+        f"repro lint: {len(report.findings)} {noun} in {report.files_checked} files"
+    )
+    return "\n".join(lines) + "\n"

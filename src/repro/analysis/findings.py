@@ -1,0 +1,135 @@
+"""Finding records and the suppression grammar of ``repro lint``.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* deliberately omits the line number -- baselines must survive
+unrelated edits above a grandfathered violation -- and instead keys on the
+enclosing definition's qualified name, which moves with the code.
+
+Inline suppressions use the comment form::
+
+    risky_call()  # repro: allow[REP002] -- measured value is informational
+
+The reason after ``--`` is mandatory: a reasonless ``allow`` is itself a
+REP000 finding and suppresses nothing, so "shut the linter up" can never be
+silent.  A suppression on its own line covers the following line as well.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "SuppressionIndex",
+    "parse_suppressions",
+    "RULE_IDS",
+]
+
+#: Every rule id the analyzer can emit.  REP000 is reserved for analyzer
+#: infrastructure diagnostics (parse errors, malformed suppressions, stale
+#: baseline entries) and cannot be suppressed or baselined.
+RULE_IDS: Tuple[str, ...] = (
+    "REP000",
+    "REP001",
+    "REP002",
+    "REP003",
+    "REP004",
+    "REP005",
+    "REP006",
+    "REP007",
+)
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*allow\[(?P<rule>REP\d{3})\]\s*(?:--\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+    context: str = "<module>"  # qualified name of the enclosing def/class
+
+    def fingerprint(self) -> Tuple[str, str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.context, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "context": self.context,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message} [{self.context}]"
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-file map of which rules are allowed on which lines."""
+
+    #: line number -> rule ids allowed there
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: malformed / reasonless suppressions, reported as REP000
+    malformed: List[Finding] = field(default_factory=list)
+    #: (line, rule) pairs that actually matched a finding
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def allows(self, finding: Finding) -> bool:
+        if finding.rule == "REP000":
+            return False
+        for line in (finding.line, finding.line - 1):
+            rules = self.by_line.get(line)
+            if rules and finding.rule in rules:
+                self.used.add((line, finding.rule))
+                return True
+        return False
+
+
+def parse_suppressions(path: str, source: str) -> SuppressionIndex:
+    """Scan *source* for ``# repro: allow[REPnnn] -- reason`` comments."""
+    index = SuppressionIndex()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rule = match.group("rule")
+        reason = (match.group("reason") or "").strip()
+        if rule not in RULE_IDS or rule == "REP000":
+            index.malformed.append(
+                Finding(
+                    rule="REP000",
+                    path=path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    message=f"suppression names unknown rule {rule!r}",
+                )
+            )
+            continue
+        if not reason:
+            index.malformed.append(
+                Finding(
+                    rule="REP000",
+                    path=path,
+                    line=lineno,
+                    col=match.start() + 1,
+                    message=(
+                        f"suppression for {rule} is missing its mandatory "
+                        "reason ('# repro: allow[REPnnn] -- why')"
+                    ),
+                )
+            )
+            continue
+        index.by_line.setdefault(lineno, set()).add(rule)
+    return index

@@ -14,7 +14,9 @@ Sub-commands:
 * ``monitor``    -- run the full monitoring system against random failures,
 * ``engine``     -- drive the discrete-event telemetry engine
   (``engine run --scenario flapping ...`` measures detection latency),
-* ``experiment`` -- regenerate one of the paper's tables/figures.
+* ``experiment`` -- regenerate one of the paper's tables/figures,
+* ``lint``       -- statically check the determinism/parallelism/observability
+  invariants (rules REP001-REP007, see ``docs/INVARIANTS.md``).
 
 Every stochastic sub-command derives all of its randomness (churn, failure
 synthesis, packet loss, probe jitter, fault dynamics) from one ``--seed``
@@ -166,6 +168,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="with 'all': root seed; per-experiment seeds are derived from it "
         "through named SeededStreams streams",
+    )
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="statically check the determinism/parallelism/observability invariants",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests", "benchmarks"],
+        help="files or directories to lint (default: src tests benchmarks)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="baseline file of grandfathered findings (default: lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true", help="ignore the baseline file entirely"
+    )
+    lint.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline to the current unsuppressed findings",
+    )
+    lint.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the findings as a JSON report to PATH ('-' for stdout)",
+    )
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="repository root paths are relative to (default: current directory)",
     )
     return parser
 
@@ -681,6 +718,22 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import main as lint_main
+
+    argv: List[str] = list(args.paths)
+    argv += ["--baseline", args.baseline]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.json:
+        argv += ["--json", args.json]
+    if args.root:
+        argv += ["--root", args.root]
+    return lint_main(argv)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for ``python -m repro`` / ``python -m repro.cli``."""
     parser = build_parser()
@@ -691,6 +744,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "monitor": _cmd_monitor,
         "engine": _cmd_engine,
         "experiment": _cmd_experiment,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from ..contracts import pool_payload
 from .incidence import IncidenceIndex
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid a routing<->core cycle
@@ -57,6 +58,7 @@ __all__ = [
 RESIDUAL_POD: int = -1
 
 
+@pool_payload
 @dataclass(frozen=True, slots=True)
 class Subproblem:
     """An independent slice of the probe-path selection problem.

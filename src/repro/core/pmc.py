@@ -46,7 +46,12 @@ try:  # only used by the numpy-backend batch scorer
 except ImportError:  # pragma: no cover - numpy backend is then unavailable
     _np = None
 
-from ..obs import tracing
+from ..contracts import (
+    informational_fields,
+    informational_wall,
+    trace_record,
+    trace_span,
+)
 from ..parallel import WorkerTelemetry, merge_worker_telemetry, pool_map, resolve_jobs
 from ..topology import PathOrbits, Topology
 from .costmodel import CostModel
@@ -150,6 +155,7 @@ class PMCOptions:
         return f"(alpha={self.alpha}, beta={self.beta}, {tag})"
 
 
+@informational_fields("elapsed_seconds", "candidates_scored")
 @dataclass
 class PMCStats:
     """Bookkeeping produced while constructing a probe matrix.
@@ -274,6 +280,9 @@ class PMCResult:
         return {outcome.pod: outcome.digest for outcome in self.shards}
 
 
+@informational_wall(
+    "PMCStats.elapsed_seconds is informational; gates use cost_counters()"
+)
 def construct_probe_matrix(
     routing_matrix: RoutingMatrix,
     options: Optional[PMCOptions] = None,
@@ -322,7 +331,7 @@ def construct_probe_matrix(
         and (options.shard_by_pods or (jobs > 1 and len(subproblems) > 1))
     )
     shard_outcomes: Optional[Tuple[ShardOutcome, ...]] = None
-    with tracing.span(
+    with trace_span(
         "pmc.construct",
         paths=routing_matrix.num_paths,
         subproblems=len(subproblems),
@@ -408,6 +417,7 @@ def _solve_shard_task(subproblem: Subproblem):
     return _solve_shard(routing_matrix, subproblem, options, coverage_counts)
 
 
+@informational_wall("WorkerTelemetry.wall_seconds is informational; the kernel delta gates")
 def _solve_shard(
     routing_matrix: "RoutingMatrix",
     subproblem: Subproblem,
@@ -541,7 +551,7 @@ def _record_shard_span(
     }
     if subproblem.pod is not None:
         labels["pod"] = subproblem.pod
-    tracing.record("pmc.solve", wall_seconds=telemetry.wall_seconds, **labels)
+    trace_record("pmc.solve", wall_seconds=telemetry.wall_seconds, **labels)
 
 
 # ---------------------------------------------------------------------------
@@ -574,6 +584,9 @@ def _subproblem_digest(index, link_ids: Sequence[int], rows: Sequence[int], opti
     return hasher.digest()
 
 
+@informational_wall(
+    "PMCStats.elapsed_seconds is informational; gates use cost_counters()"
+)
 def construct_probe_matrix_masked(
     routing_matrix: "RoutingMatrix",
     options: Optional[PMCOptions] = None,
@@ -672,7 +685,7 @@ def construct_probe_matrix_masked(
     # Phase 3: merge in canonical subproblem order, exactly like the cold
     # dispatch -- so warm, cold, serial and pooled runs all agree byte for
     # byte on the same inputs.
-    with tracing.span(
+    with trace_span(
         "pmc.construct",
         paths=routing_matrix.num_paths,
         subproblems=len(subproblems),

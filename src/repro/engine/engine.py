@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 import numpy as np
 
+from ..contracts import informational_fields, informational_wall
 from ..core.costmodel import CostModel
 from ..core.incidence import resolve_backend
 from ..obs import Observability, WindowProfiler, tracing
@@ -182,6 +183,7 @@ class DetectionRecord:
         return self.localized_time - self.fault_start
 
 
+@informational_fields("wall_seconds")
 @dataclass
 class CycleRecord:
     """One controller-cycle event: when, how, and how long it took (wall).
@@ -208,6 +210,7 @@ class EngineWindow:
     diagnosis: "DiagnosisReport"
 
 
+@informational_fields("wall_seconds")
 @dataclass
 class EngineResult:
     """Timeline and aggregates of one engine run."""
@@ -277,6 +280,7 @@ class EngineResult:
         }
 
 
+@informational_fields("wall_seconds", "control_wall_seconds")
 @dataclass
 class ServedWindow:
     """One window streamed out of :meth:`TelemetryEngine.serve`.
@@ -547,6 +551,7 @@ class TelemetryEngine:
         self._c_detected.inc()
         self._h_detection.observe(record.detection_latency)
 
+    @informational_wall("CycleRecord.wall_seconds is informational; cycle gates use counters")
     def _run_controller_cycle(self) -> None:
         self._cycle_index += 1
         with tracing.span("controller.cycle", index=self._cycle_index) as cycle_span:
@@ -598,6 +603,7 @@ class TelemetryEngine:
         with tracing.activated(self.obs.tracer):
             return self._run(duration)
 
+    @informational_wall("EngineResult wall fields are informational; gates use EngineResult.counters")
     def _run(self, duration: float) -> EngineResult:
         config = self.config
         if self.system.cycle is None or self.system.diagnoser is None:
@@ -733,6 +739,7 @@ class TelemetryEngine:
             served += 1
             k += 1
 
+    @informational_wall("ServedWindow wall/backpressure stats are informational")
     def _serve_one(self, target: float, partial: bool = False) -> ServedWindow:
         probes_before = self._scheduler.probes_sent
         lost_before = self._scheduler.probes_lost

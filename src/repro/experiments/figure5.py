@@ -22,7 +22,7 @@ import numpy as np
 from ..baselines import BaselineConfig, NetNORADSystem, PingmeshSystem
 from ..localization import aggregate_metrics, evaluate_localization
 from ..monitor import ControllerConfig, DetectorSystem
-from ..simulation import FailureGenerator
+from ..simulation import FailureGenerator, SeededStreams
 from ..topology import build_fattree
 from .common import ExperimentTable
 
@@ -54,9 +54,14 @@ def run(
         ],
     )
 
+    # One --seed, independent named streams (no ad-hoc seed reuse): each
+    # budget level restarts its stream so every configuration replays
+    # identical probing and failure draws.
+    streams = SeededStreams(seed)
+
     # ----------------------------------------------------------- deTector
     for frequency in detector_frequencies:
-        rng = np.random.default_rng(seed)
+        rng = streams.generator("detector")
         system = DetectorSystem(
             topology, rng, ControllerConfig(alpha=3, beta=1, probes_per_second=frequency)
         )
@@ -84,7 +89,7 @@ def run(
         ("NetNORAD+fbtracert", NetNORADSystem),
     ):
         for probes_per_pair in baseline_probes_per_pair:
-            rng = np.random.default_rng(seed)
+            rng = streams.generator("baseline")
             baseline = factory(topology, rng, BaselineConfig(probes_per_pair=probes_per_pair))
             generator = FailureGenerator(topology, rng)
             metrics = []

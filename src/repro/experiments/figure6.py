@@ -15,7 +15,7 @@ import numpy as np
 from ..baselines import BaselineConfig, NetNORADSystem, PingmeshSystem
 from ..localization import aggregate_metrics, evaluate_localization
 from ..monitor import ControllerConfig, DetectorSystem
-from ..simulation import FailureGenerator
+from ..simulation import FailureGenerator, SeededStreams
 from ..topology import build_fattree
 from .common import ExperimentTable
 
@@ -50,9 +50,11 @@ def run(
     )
     per_window_budget = probe_budget_per_minute / 2.0  # 30-second windows
 
-    # The same failure scenarios are replayed for every system so the
-    # comparison is not confounded by different failure draws.
-    scenario_rng = np.random.default_rng(seed)
+    # One --seed, independent named streams.  The same failure scenarios are
+    # replayed for every system so the comparison is not confounded by
+    # different failure draws.
+    streams = SeededStreams(seed)
+    scenario_rng = streams.generator("scenarios")
     scenario_generator = FailureGenerator(topology, scenario_rng)
     scenarios: Dict[int, List] = {
         count: [scenario_generator.generate(count) for _ in range(trials)]
@@ -60,7 +62,7 @@ def run(
     }
 
     # deTector: translate the budget into a per-pinger sending frequency.
-    probe_rng = np.random.default_rng(seed)
+    probe_rng = streams.generator("sizing")
     sizing_system = DetectorSystem(topology, probe_rng, ControllerConfig(alpha=3, beta=1))
     sizing_cycle = sizing_system.run_controller_cycle()
     num_pingers = max(sizing_cycle.num_pingers, 1)
@@ -68,7 +70,9 @@ def run(
     detector_frequency = max(1.0, per_window_budget / (num_pingers * window_seconds))
 
     for count in failure_counts:
-        rng = np.random.default_rng(seed + count)
+        # Placement-independent per-count stream (replaces the old
+        # seed + count arithmetic, which collided across experiments).
+        rng = streams.generator(f"detector/failures={count}")
         system = DetectorSystem(
             topology,
             rng,
@@ -103,10 +107,11 @@ def run(
         ("NetNORAD+fbtracert", NetNORADSystem),
     ):
         probes_per_pair = _detection_probes_per_pair(
-            factory, topology, per_window_budget, detection_share=0.6, seed=seed
+            factory, topology, per_window_budget, detection_share=0.6,
+            rng=streams.generator("sizing"),
         )
         for count in failure_counts:
-            rng = np.random.default_rng(seed + count)
+            rng = streams.generator(f"{name}/failures={count}")
             baseline = factory(
                 topology,
                 rng,
@@ -148,7 +153,7 @@ def _detection_probes_per_pair(
     topology,
     per_window_budget: float,
     detection_share: float,
-    seed: int,
+    rng: np.random.Generator,
 ) -> int:
     """Detection probes per pair such that detection uses ``detection_share`` of the budget.
 
@@ -156,7 +161,6 @@ def _detection_probes_per_pair(
     round; the hard ``probe_budget_per_window`` cap then guarantees the system
     never exceeds the overall budget regardless of how many pairs trip.
     """
-    rng = np.random.default_rng(seed)
     sizing_baseline = factory(topology, rng, BaselineConfig())
     num_pairs = max(len(sizing_baseline.monitored_pairs()), 1)
     return max(1, int(per_window_budget * detection_share // num_pairs))

@@ -24,7 +24,7 @@ from ..localization import (
     preprocess_observations,
 )
 from ..routing import RoutingMatrix, enumerate_candidate_paths
-from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator
+from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator, SeededStreams
 from ..topology import build_fattree
 from .common import ExperimentTable
 
@@ -52,7 +52,8 @@ def run(
     metrics: Dict[str, List] = {loc.name: [] for loc in localizers}
     runtimes: Dict[str, List[float]] = {loc.name: [] for loc in localizers}
 
-    rng = np.random.default_rng(seed)
+    streams = SeededStreams(seed)
+    rng = streams.generator("scenarios")
     generator = FailureGenerator(topology, rng)
     for _ in range(trials):
         scenario = generator.generate(failures_per_trial)
@@ -77,6 +78,9 @@ def run(
         ),
         columns=["algorithm", "accuracy_pct", "false_positive_pct", "mean_runtime_ms"],
     )
+    # Wall-clock column: excluded from the deterministic view so sweeps stay
+    # byte-comparable across machines and jobs counts.
+    table.metadata["informational_columns"] = ["mean_runtime_ms"]
     for localizer in localizers:
         aggregated = aggregate_metrics(metrics[localizer.name])
         table.add_row(

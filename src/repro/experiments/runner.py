@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..contracts import informational_fields, informational_wall, pool_payload
 from . import figure4, figure5, figure6, pll_comparison, table2, table3, table4, table5
 from .common import ExperimentTable
 
@@ -38,6 +39,7 @@ __all__ = [
 ]
 
 
+@informational_fields("elapsed_seconds")
 @dataclass(frozen=True)
 class ExperimentRun:
     """One completed experiment: its table plus how long it took."""
@@ -47,7 +49,8 @@ class ExperimentRun:
     elapsed_seconds: float
 
 
-@dataclass
+@pool_payload
+@dataclass(slots=True)
 class ExperimentSpec:
     """A picklable experiment description: registry key + keyword arguments.
 
@@ -92,6 +95,7 @@ def execute_spec(spec: ExperimentSpec) -> ExperimentTable:
     return runner(**spec.kwargs)
 
 
+@informational_wall("ExperimentRun.elapsed_seconds is informational; tables gate on counters")
 def _execute_spec_timed(spec: ExperimentSpec) -> Tuple[ExperimentTable, float]:
     start = time.perf_counter()
     table = execute_spec(spec)
@@ -190,6 +194,7 @@ def _derive_seeds(selected: Sequence[Tuple[str, Entry]], seed: Optional[int]) ->
     return derived
 
 
+@informational_wall("ExperimentRun.elapsed_seconds is informational; tables gate on counters")
 def run_all(
     suite: Optional[ExperimentSuite] = None,
     output_dir: Optional[str] = None,

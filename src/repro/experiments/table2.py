@@ -17,6 +17,7 @@ path count exceeds ``strawman_path_limit``.
 from __future__ import annotations
 
 import time
+from ..contracts import informational_wall
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -76,6 +77,7 @@ _OPTIMIZATION_LEVELS: Sequence[Tuple[str, Dict[str, bool]]] = (
 )
 
 
+@informational_wall("Table 2 runtime columns are informational; gates use counter columns")
 def run(
     instances: Optional[Sequence[Table2Instance]] = None,
     alpha: int = 2,

@@ -30,7 +30,7 @@ from ..localization import (
     preprocess_observations,
 )
 from ..routing import RoutingMatrix, enumerate_candidate_paths
-from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator
+from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator, SeededStreams
 from ..topology import build_fattree
 from .common import ExperimentTable
 
@@ -63,6 +63,9 @@ def run(
     )
 
     num_links = routing_matrix.num_links
+    # One --seed, independent named streams; every (alpha, beta) setting
+    # restarts the scenario stream so all matrices face identical failures.
+    streams = SeededStreams(seed)
     localizer = PLLLocalizer()
     for alpha, beta in alpha_beta:
         result = construct_probe_matrix(routing_matrix, PMCOptions(alpha=alpha, beta=beta))
@@ -71,7 +74,7 @@ def run(
             "alpha_beta": f"({alpha},{beta})",
             "paths": result.num_paths,
         }
-        rng = np.random.default_rng(seed)
+        rng = streams.generator("scenarios")
         generator = FailureGenerator(topology, rng)
         for count in failure_counts:
             if count > num_links:

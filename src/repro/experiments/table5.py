@@ -24,7 +24,7 @@ from ..localization import (
     preprocess_observations,
 )
 from ..routing import RoutingMatrix, enumerate_candidate_paths
-from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator
+from ..simulation import FailureGenerator, ProbeConfig, ProbeSimulator, SeededStreams
 from ..topology import build_fattree
 from .common import ExperimentTable
 
@@ -62,7 +62,8 @@ def run(
     table.metadata["pmc_selected_paths"] = result.num_paths
     table.metadata["pmc_candidate_paths"] = routing_matrix.num_paths
 
-    rng = np.random.default_rng(seed)
+    streams = SeededStreams(seed)
+    rng = streams.generator("scenarios")
     generator = FailureGenerator(topology, rng)
     localizer = PLLLocalizer()
     for count in failure_counts:

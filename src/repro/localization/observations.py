@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from ..contracts import informational_fields
+
 __all__ = ["PathObservation", "ObservationSet", "LocalizationResult", "merge_observations"]
 
 
@@ -130,6 +132,7 @@ def merge_observations(reports: Iterable[ObservationSet]) -> ObservationSet:
     return merged
 
 
+@informational_fields("elapsed_seconds")
 @dataclass
 class LocalizationResult:
     """Output of a localization algorithm.

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..core import ProbeMatrix
+from ..contracts import informational_wall
 from .observations import LocalizationResult, ObservationSet
 
 __all__ = ["OMPConfig", "OMPLocalizer"]
@@ -71,6 +72,10 @@ class OMPLocalizer:
     def __init__(self, config: Optional[OMPConfig] = None):
         self.config = config or OMPConfig()
 
+    @informational_wall(
+        "LocalizationResult.elapsed_seconds is informational (excluded from "
+        "deterministic snapshots); accuracy gates use the verdict itself"
+    )
     def localize(
         self, probe_matrix: ProbeMatrix, observations: ObservationSet
     ) -> LocalizationResult:

@@ -35,6 +35,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..core import ProbeMatrix
 from ..core.incidence import IncidenceIndex
+from ..contracts import informational_wall
 from .observations import LocalizationResult, ObservationSet
 
 __all__ = ["PLLConfig", "PLLLocalizer"]
@@ -82,6 +83,10 @@ class PLLLocalizer:
     def __init__(self, config: Optional[PLLConfig] = None):
         self.config = config or PLLConfig()
 
+    @informational_wall(
+        "LocalizationResult.elapsed_seconds is informational (excluded from "
+        "deterministic snapshots); accuracy gates use the verdict itself"
+    )
     def localize(
         self, probe_matrix: ProbeMatrix, observations: ObservationSet
     ) -> LocalizationResult:

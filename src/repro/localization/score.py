@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..core import ProbeMatrix
+from ..contracts import informational_wall
 from .observations import LocalizationResult, ObservationSet
 
 __all__ = ["ScoreConfig", "ScoreLocalizer"]
@@ -48,6 +49,10 @@ class ScoreLocalizer:
     def __init__(self, config: Optional[ScoreConfig] = None):
         self.config = config or ScoreConfig()
 
+    @informational_wall(
+        "LocalizationResult.elapsed_seconds is informational (excluded from "
+        "deterministic snapshots); accuracy gates use the verdict itself"
+    )
     def localize(
         self, probe_matrix: ProbeMatrix, observations: ObservationSet
     ) -> LocalizationResult:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..core import ProbeMatrix
+from ..contracts import informational_wall
 from .observations import LocalizationResult, ObservationSet
 
 __all__ = ["TomoConfig", "TomoLocalizer"]
@@ -51,6 +52,10 @@ class TomoLocalizer:
     def __init__(self, config: Optional[TomoConfig] = None):
         self.config = config or TomoConfig()
 
+    @informational_wall(
+        "LocalizationResult.elapsed_seconds is informational (excluded from "
+        "deterministic snapshots); accuracy gates use the verdict itself"
+    )
     def localize(
         self, probe_matrix: ProbeMatrix, observations: ObservationSet
     ) -> LocalizationResult:

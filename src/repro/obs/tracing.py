@@ -33,6 +33,8 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
+from .. import contracts
+
 __all__ = [
     "Span",
     "Tracer",
@@ -186,18 +188,21 @@ class Tracer:
 
 # ---------------------------------------------------------------------------
 # module-global active tracer (the near-zero-overhead indirection)
+#
+# The actual global lives in ``repro.contracts`` -- the dependency-free seam
+# layers below the observability plane use to emit spans without importing
+# ``repro.obs`` (layer rule REP007).  These free functions are the
+# obs-flavoured face of the same slot.
 # ---------------------------------------------------------------------------
-
-_ACTIVE: Optional[Tracer] = None
 
 
 def current_tracer() -> Optional[Tracer]:
-    return _ACTIVE
+    return contracts.active_tracer()
 
 
 def span(name: str, start: Optional[float] = None, **labels):
     """Context manager: a span on the active tracer, or a no-op without one."""
-    tracer = _ACTIVE
+    tracer = contracts.active_tracer()
     if tracer is None:
         return nullcontext()
     return tracer.span(name, start=start, **labels)
@@ -211,7 +216,7 @@ def record(
     **labels,
 ) -> Optional[Span]:
     """A finished span on the active tracer, or ``None`` without one."""
-    tracer = _ACTIVE
+    tracer = contracts.active_tracer()
     if tracer is None:
         return None
     return tracer.record(name, start=start, end=end, wall_seconds=wall_seconds, **labels)
@@ -225,16 +230,14 @@ def activated(tracer: Optional[Tracer]):
     on exit, so nested engines (snapshot windows inside an experiment
     harness) cannot leak spans into each other.
     """
-    global _ACTIVE
     if tracer is None:
         yield None
         return
-    previous = _ACTIVE
-    _ACTIVE = tracer
+    previous = contracts.install_tracer(tracer)
     try:
         yield tracer
     finally:
-        _ACTIVE = previous
+        contracts.install_tracer(previous)
 
 
 # ---------------------------------------------------------------------------

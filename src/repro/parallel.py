@@ -32,6 +32,8 @@ from __future__ import annotations
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
+
+from .contracts import informational_fields, pool_payload
 from typing import (
     Callable,
     Dict,
@@ -113,7 +115,9 @@ def pool_map(
         return [future.result() for future in futures]
 
 
-@dataclass(frozen=True)
+@pool_payload
+@informational_fields("wall_seconds")
+@dataclass(frozen=True, slots=True)
 class WorkerTelemetry:
     """Telemetry one pooled task carries back to the dispatching parent.
 

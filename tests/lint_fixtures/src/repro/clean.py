@@ -1,0 +1,15 @@
+"""Fixture: a file that violates nothing."""
+
+from repro.contracts import informational_wall
+
+
+@informational_wall("fixture: measured wall feeds an informational field only")
+def timed_section():
+    import time
+
+    start = time.perf_counter()
+    return time.perf_counter() - start
+
+
+def pure_function(values):
+    return sorted(values)

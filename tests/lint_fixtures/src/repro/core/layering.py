@@ -1,0 +1,12 @@
+"""Fixture: REP007 -- ``core`` reaching up into the observability plane."""
+
+from typing import TYPE_CHECKING
+
+from repro.obs import tracing  # REP007: core must not import obs
+
+if TYPE_CHECKING:
+    from repro.engine import TelemetryEngine  # sanctioned: typing-only
+
+
+def emit(name):
+    tracing.record(name)

@@ -1,0 +1,15 @@
+"""Fixture: REP004 and REP007 suppressed with reasoned allows."""
+
+from repro.contracts import trace_span
+from repro.obs import tracing  # repro: allow[REP007] -- fixture exercises layer suppression
+from repro.parallel import pool_map
+
+
+def _worker(item):
+    # repro: allow[REP004] -- fixture proves worker-trace suppression
+    with trace_span("worker.block"):
+        return item
+
+
+def solve(items):
+    return pool_map(_worker, items, jobs=2)

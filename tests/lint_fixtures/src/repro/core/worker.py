@@ -1,0 +1,31 @@
+"""Fixture: REP004 (worker traces) and REP003 (unslotted pool payload)."""
+
+from dataclasses import dataclass
+
+from repro.contracts import pool_payload, trace_record
+from repro.parallel import pool_map
+
+
+@pool_payload
+@dataclass(frozen=True)
+class UnslottedPayload:  # REP003: @pool_payload without slots
+    value: int
+
+
+@pool_payload
+@dataclass(frozen=True, slots=True)
+class SlottedPayload:  # fine
+    value: int
+
+
+def _helper(item):
+    trace_record("worker.step", item=item)  # REP004: traced under a pool worker
+    return item
+
+
+def _worker(item):
+    return _helper(item)
+
+
+def solve(items):
+    return pool_map(_worker, items, jobs=2)

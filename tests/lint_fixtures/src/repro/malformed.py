@@ -1,0 +1,11 @@
+"""Fixture: reasonless and unknown-rule suppressions are REP000 findings."""
+
+import time
+
+
+def reasonless_wall():
+    return time.time()  # repro: allow[REP002]
+
+
+def unknown_rule():
+    return 1  # repro: allow[REP999] -- no such rule

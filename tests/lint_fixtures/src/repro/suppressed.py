@@ -1,0 +1,34 @@
+"""Fixture: every rule suppressed with a reasoned ``# repro: allow``."""
+
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.parallel import pool_map
+
+
+def suppressed_rng(seed):
+    rng = np.random.default_rng(seed)  # repro: allow[REP001] -- fixture exercises suppression
+    # repro: allow[REP001] -- preceding-line suppression form
+    noise = random.random()
+    return rng, noise
+
+
+def suppressed_wall():
+    return time.perf_counter()  # repro: allow[REP002] -- informational-only fixture
+
+
+def suppressed_env():
+    return os.environ["REPRO_BACKEND"]  # repro: allow[REP005] -- fixture resolver
+
+
+def suppressed_pool(items):
+    # repro: allow[REP003] -- fixture proves lambda suppression
+    return pool_map(lambda item: item, items, jobs=2)
+
+
+def suppressed_metrics(registry):
+    registry.register_source("worker", lambda: {"folds": 2})
+    registry.counter("folds").inc(1)  # repro: allow[REP006] -- fixture collision is intentional

@@ -1,0 +1,45 @@
+"""Deliberately-violating fixture: every rule fires at least once here.
+
+This miniature tree is excluded from the real lint run (``lint_fixtures`` is
+an excluded directory name) and linted only by ``tests/test_analysis.py``
+with ``root=tests/lint_fixtures``.
+"""
+
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.parallel import pool_map
+
+
+def rep001_bare_rng(seed):
+    rng = np.random.default_rng(seed)  # REP001: bare RNG in src/
+    noise = random.random()  # REP001: stdlib random module
+    shifted = np.random.default_rng(seed + 3)  # REP001: twice (bare + seed arithmetic)
+    return rng, noise, shifted
+
+
+def rep002_wall_clock():
+    return time.perf_counter()  # REP002: undeclared wall read
+
+
+def rep005_env_read():
+    backend = os.environ["REPRO_BACKEND"]  # REP005: env read outside resolvers
+    jobs = os.environ.get("REPRO_JOBS", "1")  # REP005: env read outside resolvers
+    return backend, jobs
+
+
+def rep003_pool_misuse(items):
+    def local_worker(item):
+        return item * 2
+
+    doubled = pool_map(local_worker, items, jobs=2)  # REP003: local def
+    squared = pool_map(lambda item: item * item, items, jobs=2)  # REP003: lambda
+    return doubled, squared
+
+
+def rep006_double_booked(registry):
+    registry.register_source("worker", lambda: {"folds": 2})
+    registry.counter("folds").inc(1)  # REP006: same key pulled and pushed

@@ -1,0 +1,295 @@
+"""Tests for ``repro.analysis`` -- the static invariant analyzer.
+
+The fixture corpus under ``tests/lint_fixtures/`` is a miniature repo tree
+(its own ``src/repro/...``) linted with ``root=`` pointed at it, so the
+src-scoped rules (REP001 full strength, REP007 layering) apply to the
+fixtures exactly as they do to the real tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import cli
+from repro.analysis import (
+    Finding,
+    load_baseline,
+    parse_suppressions,
+    render_report,
+    run_lint,
+    save_baseline,
+)
+from repro.contracts import (
+    declared_informational_fields,
+    informational_fields,
+    informational_wall,
+    is_pool_payload,
+    pool_payload,
+    wall_clock_reason,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURE_ROOT = Path(__file__).resolve().parent / "lint_fixtures"
+
+
+def lint_fixtures(*paths, baseline_path=None, update_baseline=False):
+    return run_lint(
+        list(paths) or ["src"],
+        root=FIXTURE_ROOT,
+        baseline_path=baseline_path,
+        update_baseline=update_baseline,
+    )
+
+
+class TestRulesFire:
+    """Every rule id fires on the deliberately-violating fixtures."""
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        return lint_fixtures("src")
+
+    def test_every_rule_fires(self, report):
+        fired = {finding.rule for finding in report.findings}
+        assert fired == {
+            "REP000", "REP001", "REP002", "REP003",
+            "REP004", "REP005", "REP006", "REP007",
+        }
+
+    def test_rep001_bare_rng_and_seed_arithmetic(self, report):
+        rep001 = [f for f in report.findings if f.rule == "REP001"]
+        messages = " ".join(f.message for f in rep001)
+        assert "numpy.random.default_rng" in messages
+        assert "random.random" in messages
+        assert "seed arithmetic" in messages
+        assert all(f.path == "src/repro/violations.py" for f in rep001)
+
+    def test_rep002_wall_clock(self, report):
+        assert any(
+            f.rule == "REP002" and f.context == "rep002_wall_clock"
+            for f in report.findings
+        )
+
+    def test_rep003_lambda_local_def_and_unslotted_payload(self, report):
+        rep003 = [f for f in report.findings if f.rule == "REP003"]
+        messages = " ".join(f.message for f in rep003)
+        assert "lambda" in messages
+        assert "locally-defined function" in messages
+        assert "UnslottedPayload" in messages
+        assert "SlottedPayload" not in messages
+
+    def test_rep004_trace_reachable_from_worker(self, report):
+        rep004 = [f for f in report.findings if f.rule == "REP004"]
+        assert len(rep004) == 1
+        finding = rep004[0]
+        # Attributed to the *transitively* reached helper, not the entry point.
+        assert finding.context == "repro.core.worker._helper"
+        assert "_worker" in finding.message
+
+    def test_rep005_env_reads(self, report):
+        keys = {
+            f.message.split("'")[1]
+            for f in report.findings
+            if f.rule == "REP005"
+        }
+        assert keys == {"REPRO_BACKEND", "REPRO_JOBS"}
+
+    def test_rep006_double_booked_series(self, report):
+        assert any(
+            f.rule == "REP006" and "'folds'" in f.message for f in report.findings
+        )
+
+    def test_rep007_core_must_not_import_obs(self, report):
+        rep007 = [f for f in report.findings if f.rule == "REP007"]
+        assert len(rep007) == 1
+        assert rep007[0].path == "src/repro/core/layering.py"
+        # The TYPE_CHECKING-guarded engine import in the same file is sanctioned.
+        assert "obs" in rep007[0].message
+
+    def test_clean_file_has_no_findings(self, report):
+        assert not any(f.path.endswith("clean.py") for f in report.findings)
+
+
+class TestSuppressions:
+    def test_reasoned_suppressions_silence_every_rule(self):
+        report = lint_fixtures("src/repro/suppressed.py", "src/repro/core/suppressed_layers.py")
+        assert report.findings == []
+        # ... but the raw findings were produced and then suppressed.
+        suppressed_rules = {f.rule for f in report.all_findings}
+        assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"} <= (
+            suppressed_rules
+        )
+
+    def test_reasonless_suppression_fails_and_does_not_suppress(self):
+        report = lint_fixtures("src/repro/malformed.py")
+        rules = [f.rule for f in report.findings]
+        # The REP002 finding survives AND the bad comment is its own finding.
+        assert "REP002" in rules
+        assert any(
+            f.rule == "REP000" and "missing its mandatory reason" in f.message
+            for f in report.findings
+        )
+
+    def test_unknown_rule_in_suppression_is_flagged(self):
+        report = lint_fixtures("src/repro/malformed.py")
+        assert any(
+            f.rule == "REP000" and "unknown rule 'REP999'" in f.message
+            for f in report.findings
+        )
+
+    def test_suppression_parser_grammar(self):
+        index = parse_suppressions(
+            "x.py",
+            "a = 1  # repro: allow[REP001] -- reviewed\n"
+            "# repro: allow[REP002] -- standalone form\n"
+            "b = 2\n",
+        )
+        assert index.by_line == {1: {"REP001"}, 2: {"REP002"}}
+        assert index.malformed == []
+        # Line coverage: same line and the line after a standalone comment.
+        finding = Finding(rule="REP002", path="x.py", line=3, col=1, message="m")
+        assert index.allows(finding)
+        assert not index.allows(
+            Finding(rule="REP005", path="x.py", line=3, col=1, message="m")
+        )
+
+    def test_rep000_cannot_be_suppressed(self):
+        # Concatenated so the line-based scanner does not match this test file.
+        comment = "# repro: " + "allow[REP000] -- nice try"
+        index = parse_suppressions("x.py", f"z = 1  {comment}\n")
+        assert index.malformed  # allow[REP000] is itself malformed
+        assert not index.allows(
+            Finding(rule="REP000", path="x.py", line=1, col=1, message="m")
+        )
+
+
+class TestBaseline:
+    def test_baselined_finding_passes(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        # Grandfather the current violations of one file...
+        first = lint_fixtures(
+            "src/repro/violations.py", baseline_path=baseline, update_baseline=True
+        )
+        assert first.findings == []  # everything just went into the baseline
+        assert load_baseline(baseline)
+        # ... then the same lint run is clean against that baseline.
+        second = lint_fixtures("src/repro/violations.py", baseline_path=baseline)
+        assert second.findings == []
+
+    def test_fixed_violation_flags_stale_baseline_entry(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        lint_fixtures(
+            "src/repro/violations.py", baseline_path=baseline, update_baseline=True
+        )
+        # "Fix" the violations by linting a clean file against the old baseline.
+        report = lint_fixtures("src/repro/clean.py", baseline_path=baseline)
+        assert report.findings
+        assert all(f.rule == "REP000" for f in report.findings)
+        assert all("stale baseline entry" in f.message for f in report.findings)
+
+    def test_baseline_fingerprint_is_line_independent(self):
+        a = Finding(rule="REP001", path="p.py", line=10, col=1, message="m", context="f")
+        b = Finding(rule="REP001", path="p.py", line=99, col=7, message="m", context="f")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_save_baseline_drops_rep000(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        save_baseline(
+            baseline,
+            [
+                Finding(rule="REP000", path="p.py", line=1, col=1, message="infra"),
+                Finding(rule="REP001", path="p.py", line=1, col=1, message="rng"),
+            ],
+        )
+        assert [entry[0] for entry in load_baseline(baseline)] == ["REP001"]
+
+
+class TestReportFormats:
+    def test_render_and_json(self):
+        report = lint_fixtures("src/repro/malformed.py")
+        text = render_report(report)
+        assert "repro lint:" in text
+        assert "src/repro/malformed.py" in text
+        payload = json.loads(report.to_json())
+        assert payload["count"] == len(report.findings)
+        assert payload["findings"][0]["rule"].startswith("REP")
+
+    def test_cli_lint_subcommand(self, capsys):
+        code = cli.main(
+            ["lint", "src/repro/clean.py", "--no-baseline", "--root", str(FIXTURE_ROOT)]
+        )
+        assert code == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_cli_lint_subcommand_fails_on_findings(self, capsys):
+        code = cli.main(
+            ["lint", "src/repro/violations.py", "--no-baseline", "--root", str(FIXTURE_ROOT)]
+        )
+        assert code == 1
+
+
+class TestRepoIsClean:
+    """The tier-1 lint gate: the real tree is clean with the empty baseline."""
+
+    def test_checked_in_baseline_is_empty(self):
+        assert load_baseline(REPO_ROOT / "lint-baseline.json") == []
+
+    def test_repo_lint_clean_in_process(self):
+        report = run_lint(
+            ["src", "tests", "benchmarks"],
+            root=REPO_ROOT,
+            baseline_path=REPO_ROOT / "lint-baseline.json",
+        )
+        assert report.findings == [], render_report(report)
+
+    def test_repo_lint_clean_subprocess(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.analysis", "src", "tests", "benchmarks"],
+            cwd=REPO_ROOT,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=180,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "0 findings" in proc.stdout
+
+
+class TestContractsMarkers:
+    """Runtime counterparts of the declarations the linter checks statically."""
+
+    def test_informational_wall_requires_reason(self):
+        with pytest.raises(ValueError):
+            informational_wall("")
+
+        @informational_wall("feeds an informational field")
+        def timed():
+            return 0.0
+
+        assert wall_clock_reason(timed) == "feeds an informational field"
+
+    def test_informational_fields_compose_and_inherit(self):
+        @informational_fields("wall")
+        class Base:
+            pass
+
+        @informational_fields("extra")
+        class Derived(Base):
+            pass
+
+        assert declared_informational_fields(Derived) == ("wall", "extra")
+
+    def test_pool_payload_marker(self):
+        @pool_payload
+        class Payload:
+            __slots__ = ("x",)
+
+        assert is_pool_payload(Payload)
+        assert not is_pool_payload(int)

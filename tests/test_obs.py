@@ -109,6 +109,7 @@ class TestMetricsRegistry:
         registry = MetricsRegistry()
         registry.register_source("a", lambda: {"work": 2, "only_a": 1})
         registry.register_source("b", lambda: {"work": 3})
+        # repro: allow[REP006] -- this test pins the sum-on-collision semantics itself
         registry.counter("work").inc(10)
         counters = registry.snapshot()["counters"]
         assert counters["work"] == 15  # direct counter + both sources

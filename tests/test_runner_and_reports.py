@@ -162,6 +162,30 @@ class TestParallelRunner:
         b = run_all(self.spec_suite(), only=["fig6"], jobs=1, seed=2, verbose=False)
         assert a[0].table.rows != b[0].table.rows
 
+    def migrated_suite(self):
+        """The experiments the REP001 cleanup routed through SeededStreams."""
+        suite = ExperimentSuite(name="migrated")
+        suite.add_spec("fig5", "figure5", radix=4, trials=2,
+                       detector_frequencies=(5,), baseline_probes_per_pair=(5,))
+        suite.add_spec("fig6", "figure6", radix=4, trials=2, failure_counts=(1, 2))
+        suite.add_spec("t4", "table4", radix=4, trials=2,
+                       alpha_beta=((2, 1),), failure_counts=(1,))
+        suite.add_spec("t5", "table5", radix=4, trials=2, failure_counts=(1,))
+        suite.add_spec("pll", "pll_comparison", radix=4, trials=2)
+        return suite
+
+    def test_migrated_experiments_parallel_matches_serial_byte_for_byte(self):
+        """Regression pin for the SeededStreams migration (REP001 cleanup):
+        every migrated experiment yields byte-identical deterministic rows,
+        notes and metadata whether the sweep runs serial or pooled."""
+        serial = run_all(self.migrated_suite(), jobs=1, seed=321, verbose=False)
+        parallel = run_all(self.migrated_suite(), jobs=2, seed=321, verbose=False)
+        assert [r.name for r in serial] == [r.name for r in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.table.deterministic_rows() == b.table.deterministic_rows(), a.name
+            assert a.table.notes == b.table.notes, a.name
+            assert a.table.metadata == b.table.metadata, a.name
+
 
 class TestBaselineBudgetCap:
     def test_budget_caps_total_probes(self):
