@@ -12,6 +12,10 @@ recorded but informational only, as PR 4 established for Table 2):
   pod-owned link must re-solve exactly that pod's shard plus the residual
   shard; every other shard must replay from its warm bucket with a zero
   kernel delta.
+* **Dispatch-plane scaling** -- with the shared-memory incidence plane and
+  persistent pools warm, a zero-churn cycle ships zero task payload and a
+  one-pod churn cycle ships payload proportional to the churned shards (far
+  below one pickled routing matrix), with zero pool spawns in either case.
 
 Used by the CI benchmark-smoke job in quick mode; run the full configuration
 locally with::
@@ -22,6 +26,7 @@ locally with::
 from __future__ import annotations
 
 import argparse
+import pickle
 import time
 
 from repro.contracts import informational_wall
@@ -31,8 +36,10 @@ from repro.core import (
     construct_probe_matrix,
     link_pod_map,
 )
+from repro.core.incidence import shm_telemetry
 from repro.monitor import Controller, ControllerConfig
 from repro.obs import counters_block, write_bench_report
+from repro.parallel import pool_telemetry, shutdown_pools
 from repro.routing import RoutingMatrix, enumerate_candidate_paths
 from repro.topology import build_bcube, build_fattree, build_vl2
 
@@ -126,6 +133,85 @@ def bench_churn_isolation(name: str, topology) -> dict:
     }
 
 
+def bench_dispatch_plane(name: str, topology, jobs: int) -> dict:
+    """Gate the zero-copy dispatch plane: payload scales with churn, not topology.
+
+    A warmed sharded controller at ``jobs > 1`` runs one zero-churn cycle and
+    one single-pod churn cycle.  Hard gates on the process-wide dispatch
+    telemetry deltas:
+
+    * zero-churn: every shard replays from its warm bucket, so **zero** task
+      payload crosses the pool boundary and no pool is spawned;
+    * churn: only the churned + residual shards ship (small subproblem + its
+      coverage slice), so the payload stays far below one pickled routing
+      matrix -- the quantity the pre-shm plane shipped per dispatch -- and the
+      warm persistent pool is reused, never respawned.
+    """
+    shutdown_pools()  # isolate the telemetry deltas from earlier benches
+    config = ControllerConfig(
+        alpha=2, beta=1, shard_by_pods=True, intrapod_paths=True, jobs=jobs
+    )
+    controller = Controller(topology, config)
+    controller.run_incremental_cycle()  # bootstrap full rebuild (spawns the pool)
+    controller.run_incremental_cycle()  # seed warm buckets
+    warm_pool = pool_telemetry()
+    warm_shm = shm_telemetry()
+
+    controller.run_incremental_cycle()  # steady state: no churn at all
+    steady_pool = pool_telemetry()
+    steady_payload = (
+        steady_pool["dispatch_payload_bytes"] - warm_pool["dispatch_payload_bytes"]
+    )
+    steady_spawns = steady_pool["pool_spawns"] - warm_pool["pool_spawns"]
+
+    pods = link_pod_map(topology)
+    bad = next(l.link_id for l in topology.switch_links if pods[l.link_id] == 0)
+    controller.watchdog.report_failed_link(bad)
+    controller.run_incremental_cycle()
+    churn_pool = pool_telemetry()
+    churn_payload = (
+        churn_pool["dispatch_payload_bytes"] - steady_pool["dispatch_payload_bytes"]
+    )
+    churn_spawns = churn_pool["pool_spawns"] - steady_pool["pool_spawns"]
+
+    matrix_bytes = len(
+        pickle.dumps(
+            controller._full_routing_matrix(), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    )
+    controller.close()
+
+    if steady_payload != 0:
+        raise SystemExit(
+            f"{name}: zero-churn cycle shipped {steady_payload} payload bytes"
+        )
+    if steady_spawns != 0 or churn_spawns != 0:
+        raise SystemExit(
+            f"{name}: warm cycles spawned pools (steady={steady_spawns}, "
+            f"churn={churn_spawns}); the persistent pool was not reused"
+        )
+    if churn_payload >= matrix_bytes:
+        raise SystemExit(
+            f"{name}: churn payload {churn_payload} B is not below one pickled "
+            f"routing matrix ({matrix_bytes} B); dispatch is O(topology) again"
+        )
+
+    return {
+        "topology": name,
+        "jobs": jobs,
+        "warmup_pool_spawns": warm_pool["pool_spawns"],
+        "steady_cycle_payload_bytes": steady_payload,
+        "steady_cycle_pool_spawns": steady_spawns,
+        "churn_cycle_payload_bytes": churn_payload,
+        "churn_cycle_pool_spawns": churn_spawns,
+        "routing_matrix_pickle_bytes": matrix_bytes,
+        "dispatch_context_bytes": warm_pool["dispatch_context_bytes"],
+        "shm_bytes_exported": warm_shm["shm_bytes_exported"],
+        "shm_segments_created": warm_shm["shm_segments_created"],
+        "payload_scales_with_churn": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="small instances only")
@@ -159,6 +245,7 @@ def main() -> None:
         config={"alpha": 2, "beta": 1, "jobs_gated": args.jobs},
         rows=rows,
         churn_isolation=bench_churn_isolation(*fattree),
+        dispatch_plane=bench_dispatch_plane(*fattree, jobs=args.jobs),
     )
     for row in rows:
         print(
@@ -172,6 +259,14 @@ def main() -> None:
         f"{isolation['topology']:>10}: churn touched {isolation['touched_shards']} "
         f"of {isolation['num_shards']} shards "
         f"({isolation['replayed_shards']} replayed)"
+    )
+    plane = report["dispatch_plane"]
+    print(
+        f"{plane['topology']:>10}: dispatch steady={plane['steady_cycle_payload_bytes']} B "
+        f"churn={plane['churn_cycle_payload_bytes']} B "
+        f"(matrix pickle={plane['routing_matrix_pickle_bytes']} B), "
+        f"{plane['steady_cycle_pool_spawns'] + plane['churn_cycle_pool_spawns']} "
+        f"pool spawns after warmup"
     )
     print(f"wrote {args.out}")
 

@@ -39,6 +39,7 @@ RULE_IDS: Tuple[str, ...] = (
     "REP005",
     "REP006",
     "REP007",
+    "REP008",
 )
 
 _SUPPRESS_RE = re.compile(

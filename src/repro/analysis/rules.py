@@ -24,6 +24,10 @@ REP006    Metrics double-booking: a series key must not be both a
           ``register_source`` provider output and a direct counter.
 REP007    Layer DAG: module-level imports must follow the layering
           (``core`` never imports ``engine``/``monitor``/``cli``/``obs``).
+REP008    Shared-memory lifecycle: every ``SharedMemory(...)`` /
+          ``.share()`` acquisition must be lifecycle-paired -- used as a
+          context manager, explicitly ``close()``/``unlink()``ed, or
+          returned to a caller that owns it.
 ========  ==================================================================
 """
 
@@ -743,6 +747,135 @@ def _rep007(info: ModuleInfo, findings: List[Finding]) -> None:
 
 
 # ---------------------------------------------------------------------------
+# REP008 -- shared-memory lifecycle pairing
+# ---------------------------------------------------------------------------
+
+_SHM_RELEASE_CALLS = ("close", "unlink")
+
+
+def _is_shm_acquisition(node: ast.Call, info: ModuleInfo) -> bool:
+    """Does this call acquire a shared-memory resource?
+
+    Two acquisition shapes exist in the repo: constructing a
+    ``multiprocessing.shared_memory.SharedMemory`` segment, and exporting an
+    incidence index with the zero-argument ``.share()`` method.
+    """
+    resolved, _ = info.imports.resolve(node.func)
+    raw = _dotted_text(node.func)
+    for text in (resolved, raw):
+        if text and (text == "SharedMemory" or text.endswith(".SharedMemory")):
+            return True
+    return (
+        isinstance(node.func, ast.Attribute)
+        and node.func.attr == "share"
+        and not node.args
+        and not node.keywords
+    )
+
+
+def _rep008(info: ModuleInfo, findings: List[Finding]) -> None:
+    parents: Dict[ast.AST, ast.AST] = {}
+    enclosing: Dict[ast.AST, Optional[ast.AST]] = {}
+
+    def index_tree(node: ast.AST, function: Optional[ast.AST]) -> None:
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+            child_fn = (
+                child
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+                else function
+            )
+            enclosing[child] = child_fn
+            index_tree(child, child_fn)
+
+    index_tree(info.tree, None)
+
+    def scope_of(node: ast.AST) -> ast.AST:
+        return enclosing.get(node) or info.tree
+
+    def name_is_released(scope: ast.AST, name: str) -> bool:
+        """``name.close()``/``name.unlink()`` or ``return name`` in scope?"""
+        for sub in ast.walk(scope):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _SHM_RELEASE_CALLS
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == name
+            ):
+                return True
+            if (
+                isinstance(sub, ast.Return)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == name
+            ):
+                return True
+        return False
+
+    def attribute_is_released(attr: str) -> bool:
+        """Does the *module* release ``<anything>.<attr>`` somewhere?
+
+        Attribute-held resources (``self._shm = SharedMemory(...)``) are
+        released by a sibling method, so the pairing check widens to the
+        whole file.
+        """
+        for sub in ast.walk(info.tree):
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr in _SHM_RELEASE_CALLS
+                and isinstance(sub.func.value, ast.Attribute)
+                and sub.func.value.attr == attr
+            ):
+                return True
+        return False
+
+    def qualname_of(node: ast.AST) -> str:
+        names: List[str] = []
+        cursor: Optional[ast.AST] = node
+        while cursor is not None and cursor is not info.tree:
+            if isinstance(cursor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.append(cursor.name)
+            cursor = parents.get(cursor)
+        return ".".join(reversed(names)) if names else "<module>"
+
+    for node in ast.walk(info.tree):
+        if not (isinstance(node, ast.Call) and _is_shm_acquisition(node, info)):
+            continue
+        parent = parents.get(node)
+        if isinstance(parent, ast.withitem):
+            continue  # context-managed: lifecycle is structural
+        if isinstance(parent, ast.Return):
+            continue  # ownership handed to the caller
+        paired = False
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+        elif isinstance(parent, ast.AnnAssign):
+            target = parent.target
+        else:
+            target = None
+        if isinstance(target, ast.Name):
+            paired = name_is_released(scope_of(node), target.id)
+        elif isinstance(target, ast.Attribute):
+            paired = attribute_is_released(target.attr)
+        if not paired:
+            findings.append(
+                Finding(
+                    rule="REP008",
+                    path=info.path,
+                    line=node.lineno,
+                    col=node.col_offset + 1,
+                    message=(
+                        "shared-memory acquisition is not lifecycle-paired: "
+                        "use a context manager, call close()/unlink() on it, "
+                        "or return it to an owner that does"
+                    ),
+                    context=qualname_of(node),
+                )
+            )
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -756,4 +889,5 @@ def per_file_findings(info: ModuleInfo) -> List[Finding]:
     rep006.visit(info.tree)
     rep006.finish()
     _rep007(info, findings)
+    _rep008(info, findings)
     return findings

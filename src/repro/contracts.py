@@ -162,17 +162,25 @@ def active_tracer() -> Optional[Any]:
     return _ACTIVE_TRACER
 
 
-def trace_span(name: str, start: Optional[float] = None, **labels):
+def trace_span(
+    name: str,
+    start: Optional[float] = None,
+    informational: bool = False,
+    **labels,
+):
     """Context manager: a sim-time span on the active tracer, or a no-op.
 
     The dependency-free twin of :func:`repro.obs.tracing.span`; layers below
     the observability plane (e.g. :mod:`repro.core.pmc`) emit their spans
     through this seam so the layer DAG stays acyclic (REP007).
+    ``informational=True`` is for spans whose existence depends on the
+    machine or ``REPRO_JOBS`` (pool spawns, shm exports): the tracer keeps
+    them out of the deterministic export and id sequence.
     """
     tracer = _ACTIVE_TRACER
     if tracer is None:
         return nullcontext()
-    return tracer.span(name, start=start, **labels)
+    return tracer.span(name, start=start, informational=informational, **labels)
 
 
 def trace_record(
@@ -180,10 +188,18 @@ def trace_record(
     start: Optional[float] = None,
     end: Optional[float] = None,
     wall_seconds: float = 0.0,
+    informational: bool = False,
     **labels,
 ):
     """An instant/finished span on the active tracer, or ``None`` without one."""
     tracer = _ACTIVE_TRACER
     if tracer is None:
         return None
-    return tracer.record(name, start=start, end=end, wall_seconds=wall_seconds, **labels)
+    return tracer.record(
+        name,
+        start=start,
+        end=end,
+        wall_seconds=wall_seconds,
+        informational=informational,
+        **labels,
+    )

@@ -33,7 +33,10 @@ on either backend are byte-identical -- tested in
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import os
+from dataclasses import dataclass
 from enum import Enum
 from typing import (
     Dict,
@@ -51,17 +54,41 @@ try:  # numpy is the default backend but never a hard requirement
 except ImportError:  # pragma: no cover - the CI image always has numpy
     _np = None
 
+from ..contracts import pool_payload, trace_span
 from .costmodel import KernelCounters
 
 __all__ = [
     "Backend",
     "resolve_backend",
+    "shm_enabled",
+    "shm_telemetry",
+    "IncidenceHandle",
+    "SharedIncidence",
     "IncidenceIndex",
     "RowProjection",
     "RefinablePartition",
 ]
 
 _ENV_VAR = "REPRO_BACKEND"
+_SHM_ENV = "REPRO_SHM"
+_FALSEY = {"", "0", "false", "no", "off"}
+
+
+def shm_enabled(enabled: Optional[bool] = None) -> bool:
+    """Resolve the shared-memory plane switch: argument > ``REPRO_SHM`` > on.
+
+    When off (or whenever the backend is :attr:`Backend.PYTHON`), shard
+    dispatch ships the index by pickle exactly as before the shm plane
+    existed -- the fallback the cross-backend byte-identity tests pin
+    semantics against.  The switch never changes results, only how the bytes
+    travel to the workers.
+    """
+    if enabled is not None:
+        return bool(enabled)
+    raw = os.environ.get(_SHM_ENV)
+    if raw is None:
+        return True
+    return raw.strip().lower() not in _FALSEY
 
 
 class Backend(Enum):
@@ -244,6 +271,241 @@ def _kernels_for(backend: Backend):
 
 
 # ---------------------------------------------------------------------------
+# the shared-memory data plane
+#
+# A numpy-backed IncidenceIndex is frozen after construction: the CSR/CSC
+# arrays never change (masks are overlays on separate state).  share() copies
+# those buffers once into a multiprocessing.shared_memory segment; workers
+# attach() the segment and get the same index back as read-only zero-copy
+# numpy views, so pooled shard dispatch ships a ~100-byte IncidenceHandle
+# instead of a pickled matrix.  Lifecycle is explicit: the creating process
+# owns the segment and unlink()s it (context manager, release_share(), or the
+# atexit sweep); workers merely map it and deliberately *unregister* from the
+# resource tracker -- the tracker would otherwise unlink the segment when the
+# first worker exits, yanking it out from under its siblings.
+# ---------------------------------------------------------------------------
+
+_INDEX_UIDS = itertools.count(1)
+_SHARE_GENERATIONS = itertools.count(1)
+_SEGMENT_SEQ = itertools.count(1)
+
+#: Mutable process-wide counters behind :func:`shm_telemetry`.  Informational
+#: by construction (they vary with jobs/persistence settings), so they feed
+#: the obs plane's informational source and the bench report, never
+#: deterministic snapshots.
+_SHM_STATS = {
+    "segments_created": 0,
+    "bytes_exported": 0,
+    "attaches": 0,
+    "detaches": 0,
+    "releases": 0,
+}
+
+
+def shm_telemetry() -> Dict[str, int]:
+    """Process-wide shared-memory plane counters (informational)."""
+    return {f"shm_{name}": value for name, value in _SHM_STATS.items()}
+
+
+@pool_payload
+@dataclass(frozen=True, slots=True)
+class IncidenceHandle:
+    """The tiny pool payload that stands in for a shared index.
+
+    Everything a worker needs to reattach: the segment name, the three array
+    dimensions that fix the segment layout, and the share generation (which
+    makes the handle -- and therefore the persistent-pool context digest --
+    unique per export, so a pool armed for one topology can never serve
+    another).
+    """
+
+    name: str
+    num_paths: int
+    num_links: int
+    nnz: int
+    generation: int
+
+
+#: int64 arrays packed back-to-back into one segment, in this order; all
+#: lengths are fixed by (num_paths, num_links, nnz) so the handle alone
+#: recovers the layout.
+_SEGMENT_FIELDS = (
+    ("row_indptr", lambda m, n, nnz: m + 1),
+    ("row_cols", lambda m, n, nnz: nnz),
+    ("col_indptr", lambda m, n, nnz: n + 1),
+    ("col_rows", lambda m, n, nnz: nnz),
+    ("entry_rows", lambda m, n, nnz: nnz),
+    ("link_ids", lambda m, n, nnz: n),
+    ("coverage_counts", lambda m, n, nnz: n),
+)
+
+
+def _segment_layout(num_paths: int, num_links: int, nnz: int):
+    """``name -> (offset_bytes, length)`` plus the total byte size."""
+    layout: Dict[str, Tuple[int, int]] = {}
+    offset = 0
+    for name, length_of in _SEGMENT_FIELDS:
+        length = length_of(num_paths, num_links, nnz)
+        layout[name] = (offset, length)
+        offset += length * 8  # int64
+    return layout, offset
+
+
+def _create_segment(size: int):
+    """Create a uniquely named segment; retries on a (stale) name collision."""
+    from multiprocessing import shared_memory
+
+    while True:
+        name = f"repro_inc_{os.getpid()}_{next(_SEGMENT_SEQ)}"
+        try:
+            return shared_memory.SharedMemory(name=name, create=True, size=max(size, 1))
+        except FileExistsError:  # pragma: no cover - stale leftover segment
+            continue
+
+
+def _attach_segment(name: str):
+    """Map an existing segment read-write-shared, without tracker ownership.
+
+    Attaching registers the segment with the resource tracker, which would
+    unlink it when the attaching process exits -- but the segment is owned by
+    the exporter, and sibling workers may still be using it.  Registration is
+    suppressed for the duration of the attach (the pre-3.13 stand-in for
+    ``SharedMemory(track=False)``); register-then-unregister would be wrong
+    under the fork start method, where workers share the owner's tracker and
+    an unregister would cancel the *owner's* registration, leaving its later
+    ``unlink()`` unbalanced (a tracker-side ``KeyError``).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original_register = resource_tracker.register
+    resource_tracker.register = lambda _name, _rtype: None
+    try:
+        shm = shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original_register
+    _SHM_STATS["attaches"] += 1
+    return shm
+
+
+def _segment_views(shm, handle: IncidenceHandle) -> Dict[str, "object"]:
+    """Read-only int64 numpy views over every packed array of a segment."""
+    layout, _ = _segment_layout(handle.num_paths, handle.num_links, handle.nnz)
+    views: Dict[str, object] = {}
+    for name, (offset, length) in layout.items():
+        view = _np.ndarray((length,), dtype=_np.int64, buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        views[name] = view
+    return views
+
+
+#: Segments created by this process and not yet released.  The atexit sweep
+#: guarantees a clean shutdown (no /dev/shm leftovers) even when owners skip
+#: release_share() -- e.g. an engine interrupted by Ctrl-C.
+_LIVE_SHARES: "Dict[int, SharedIncidence]" = {}
+
+
+def release_all_shares() -> int:
+    """Unlink every live segment this process exported; returns the count."""
+    count = 0
+    while _LIVE_SHARES:
+        _, share = _LIVE_SHARES.popitem()
+        share.close()
+        count += 1
+    return count
+
+
+atexit.register(release_all_shares)
+
+
+class SharedIncidence:
+    """Owner-side handle of one exported segment (created by ``share()``).
+
+    The owner keeps the mapping open for its own lifetime and is the only
+    party that ever ``unlink()``s.  ``close()`` is idempotent and does both;
+    the context-manager form scopes a share to a block, and the atexit sweep
+    catches everything else.
+    """
+
+    def __init__(self, shm, handle: IncidenceHandle):
+        self._shm = shm
+        self.handle = handle
+        self._closed = False
+        _LIVE_SHARES[id(self)] = self
+
+    @classmethod
+    def from_index(cls, index: "IncidenceIndex") -> "SharedIncidence":
+        m, n, nnz = index.num_paths, index.num_links, index.nnz
+        layout, total = _segment_layout(m, n, nnz)
+        handle = IncidenceHandle(
+            name="",  # patched below once the segment name is known
+            num_paths=m,
+            num_links=n,
+            nnz=nnz,
+            generation=next(_SHARE_GENERATIONS),
+        )
+        with trace_span(
+            "shm.export", informational=True, bytes=total, generation=handle.generation
+        ):
+            shm = _create_segment(total)
+            try:
+                handle = IncidenceHandle(
+                    name=shm.name,
+                    num_paths=m,
+                    num_links=n,
+                    nnz=nnz,
+                    generation=handle.generation,
+                )
+                sources = {
+                    "row_indptr": index._row_indptr,
+                    "row_cols": index._row_cols,
+                    "col_indptr": index._col_indptr,
+                    "col_rows": index._col_rows,
+                    "entry_rows": index._entry_rows,
+                    "link_ids": _np.fromiter(index._link_ids, dtype=_np.int64, count=n),
+                    "coverage_counts": index._coverage_vector(),
+                }
+                for name, (offset, length) in layout.items():
+                    dest = _np.ndarray(
+                        (length,), dtype=_np.int64, buffer=shm.buf, offset=offset
+                    )
+                    dest[:] = sources[name]
+            except BaseException:  # pragma: no cover - copy-in cannot realistically fail
+                shm.close()
+                shm.unlink()
+                raise
+        _SHM_STATS["segments_created"] += 1
+        _SHM_STATS["bytes_exported"] += total
+        return cls(shm, handle)
+
+    @property
+    def name(self) -> str:
+        return self.handle.name
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_SHARES.pop(id(self), None)
+        self._shm.close()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already swept externally
+            pass
+        _SHM_STATS["releases"] += 1
+
+    def __enter__(self) -> "SharedIncidence":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
 # the incidence index
 # ---------------------------------------------------------------------------
 
@@ -316,8 +578,21 @@ class IncidenceIndex:
         # mask-free indices pay nothing.
         self._masked_cols: set = set()
         self._row_blockers = None
+        # Shared-memory plane + coverage-cache state (see the dedicated
+        # sections below).  The uid names this index in persistent-pool
+        # context digests on the pickle fallback path.
+        self._share: Optional[SharedIncidence] = None
+        self._attached_shm = None
+        self._coverage_cache = None
+        self._active_counts_cache = None
+        self._uid = next(_INDEX_UIDS)
 
     # ------------------------------------------------------------------ sizes
+    @property
+    def uid(self) -> int:
+        """Process-unique identity of this index (stable across its lifetime)."""
+        return self._uid
+
     @property
     def backend(self) -> Backend:
         return self._backend
@@ -385,13 +660,31 @@ class IncidenceIndex:
 
     # --------------------------------------------------------------- kernels
     def coverage_counts(self):
-        """Per-column path counts (the coverage histogram, as a vector)."""
+        """Per-column path counts (the coverage histogram, as a vector).
+
+        The vector is computed once and cached for the index's lifetime --
+        the CSC structure is frozen, so it can never change.  Callers receive
+        the shared cached vector (read-only on numpy) and must not mutate it;
+        the kernel counter still ticks per call, so cost accounting is
+        unchanged by the cache.
+        """
         self.counters.tick("coverage_counts", self.num_links)
-        if self._backend is Backend.NUMPY:
-            return _np.diff(self._col_indptr)
-        return [
-            self._col_indptr[c + 1] - self._col_indptr[c] for c in range(self.num_links)
-        ]
+        return self._coverage_vector()
+
+    def _coverage_vector(self):
+        """The cached coverage vector, without ticking (shm export uses this:
+        sharing must never perturb deterministic counter snapshots)."""
+        if self._coverage_cache is None:
+            if self._backend is Backend.NUMPY:
+                counts = _np.diff(self._col_indptr)
+                counts.flags.writeable = False
+            else:
+                counts = [
+                    self._col_indptr[c + 1] - self._col_indptr[c]
+                    for c in range(self.num_links)
+                ]
+            self._coverage_cache = counts
+        return self._coverage_cache
 
     def coverage_histogram(self) -> Dict[int, int]:
         """Map ``link_id -> number of paths`` through it (legacy dict view)."""
@@ -494,6 +787,8 @@ class IncidenceIndex:
             self._masked_cols.add(col)
             newly.append(link_id)
             self._adjust_blockers(col, +1)
+        if newly:
+            self._active_counts_cache = None
         return tuple(newly)
 
     def revert_link_mask(self, link_ids: Iterable[int]) -> Tuple[int, ...]:
@@ -507,12 +802,15 @@ class IncidenceIndex:
             self._masked_cols.discard(col)
             reverted.append(link_id)
             self._adjust_blockers(col, -1)
+        if reverted:
+            self._active_counts_cache = None
         return tuple(reverted)
 
     def clear_link_mask(self) -> None:
         """Drop the whole mask (all rows active again)."""
         self._masked_cols.clear()
         self._row_blockers = None
+        self._active_counts_cache = None
 
     def _adjust_blockers(self, col: int, amount: int) -> None:
         if self._row_blockers is None:
@@ -558,10 +856,123 @@ class IncidenceIndex:
         it equals the coverage histogram of a routing matrix rebuilt from
         scratch on the post-delta topology -- the quantity incremental PMC
         needs to judge coverability byte-identically to a cold rebuild.
+
+        The masked vector is cached until the next mask mutation
+        (apply/revert/clear), so repeated dispatches within one controller
+        cycle compute it once.  Cache hits skip the ``masked_col_counts``
+        tick; whether a call hits is a pure function of the mask-mutation
+        sequence, which is identical across backends and jobs settings, so
+        counter snapshots stay byte-identical across those axes.
         """
         if self._row_blockers is None:
             return self.coverage_counts()
-        return self.masked_col_counts(self.active_row_mask())
+        if self._active_counts_cache is None:
+            counts = self.masked_col_counts(self.active_row_mask())
+            if self._backend is Backend.NUMPY:
+                counts.flags.writeable = False
+            self._active_counts_cache = counts
+        return self._active_counts_cache
+
+    # ------------------------------------------------- shared-memory export
+    def share(self) -> SharedIncidence:
+        """Export the frozen CSR/CSC buffers into a shared-memory segment.
+
+        Numpy backend only (the python backend keeps the pickle dispatch
+        path).  The export is cached: repeated calls return the same live
+        :class:`SharedIncidence`, so one controller shares its matrix once
+        and every later dispatch reuses the segment.  Sharing never ticks
+        kernel counters -- whether an index was shared must be invisible to
+        deterministic cost snapshots.
+
+        The caller owns the returned share's lifecycle: use it as a context
+        manager, call :meth:`release_share` (or ``share.close()``) when the
+        index is retired, or rely on the process-exit sweep.
+        """
+        if self._backend is not Backend.NUMPY:
+            raise RuntimeError(
+                "shared-memory export requires the numpy backend; "
+                "the python backend dispatches by pickle"
+            )
+        if self._attached_shm is not None:
+            raise RuntimeError("an attached index cannot be re-shared")
+        if self._share is None or self._share.closed:
+            if self._entry_rows is None:
+                self._entry_rows = _np.repeat(
+                    _np.arange(self._num_paths, dtype=_np.int64),
+                    _np.diff(self._row_indptr),
+                )
+            self._share = SharedIncidence.from_index(self)
+        return self._share
+
+    def release_share(self) -> None:
+        """Unlink this index's exported segment, if any (idempotent)."""
+        if self._share is not None:
+            share, self._share = self._share, None
+            share.close()
+
+    @classmethod
+    def attach(cls, handle: IncidenceHandle) -> "IncidenceIndex":
+        """Rebuild an index from a shared segment as read-only numpy views.
+
+        The worker-side counterpart of :meth:`share`: zero-copy for every
+        array the solvers touch (CSR/CSC, entry rows, coverage counts); only
+        the ``link -> column`` dict is rebuilt locally.  The attached index
+        gets fresh :class:`~repro.core.costmodel.KernelCounters` (workers
+        report counter *deltas* back to the parent) and must be treated as
+        immutable -- masking would need write access the views deny.
+        """
+        if _np is None:  # pragma: no cover - exporters are numpy-backed
+            raise RuntimeError("attaching a shared incidence requires numpy")
+        shm = _attach_segment(handle.name)
+        views = _segment_views(shm, handle)
+        self = cls.__new__(cls)
+        self._backend = Backend.NUMPY
+        self.kernels = _NumpyKernels
+        self.counters = KernelCounters()
+        self._link_ids = tuple(int(l) for l in views["link_ids"])
+        self._pos = {link: col for col, link in enumerate(self._link_ids)}
+        self._num_paths = handle.num_paths
+        self._row_indptr = views["row_indptr"]
+        self._row_cols = views["row_cols"]
+        self._col_indptr = views["col_indptr"]
+        self._col_rows = views["col_rows"]
+        self._entry_rows = views["entry_rows"]
+        self._row_set_cache = {}
+        self._col_tuple_cache = {}
+        self._masked_cols = set()
+        self._row_blockers = None
+        self._share = None
+        self._attached_shm = shm
+        self._coverage_cache = views["coverage_counts"]
+        self._active_counts_cache = None
+        self._uid = next(_INDEX_UIDS)
+        return self
+
+    @property
+    def attached(self) -> bool:
+        """True when this index is a worker-side view over a shared segment."""
+        return self._attached_shm is not None
+
+    def detach(self) -> None:
+        """Drop the shared views and unmap the segment (attached indexes only).
+
+        The numpy views exported from the buffer must be released before the
+        mapping can close, so every array attribute is dropped first -- the
+        index is unusable afterwards.  Never unlinks: the exporting process
+        owns the segment.
+        """
+        if self._attached_shm is None:
+            return
+        shm, self._attached_shm = self._attached_shm, None
+        self._row_indptr = None
+        self._row_cols = None
+        self._col_indptr = None
+        self._col_rows = None
+        self._entry_rows = None
+        self._coverage_cache = None
+        self._active_counts_cache = None
+        shm.close()
+        _SHM_STATS["detaches"] += 1
 
     # ----------------------------------------------------------- components
     def components(

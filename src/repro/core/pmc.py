@@ -52,11 +52,23 @@ from ..contracts import (
     trace_record,
     trace_span,
 )
-from ..parallel import WorkerTelemetry, merge_worker_telemetry, pool_map, resolve_jobs
+from ..parallel import (
+    WorkerTelemetry,
+    in_main_process,
+    merge_worker_telemetry,
+    pool_map,
+    resolve_jobs,
+)
 from ..topology import PathOrbits, Topology
 from .costmodel import CostModel
 from .decomposition import Subproblem, decompose_routing_matrix, pod_shards_for_matrix
-from .incidence import Backend, RefinablePartition
+from .incidence import (
+    Backend,
+    IncidenceHandle,
+    IncidenceIndex,
+    RefinablePartition,
+    shm_enabled,
+)
 from .lazy_greedy import BatchCELFHeap, CELFSolutionCache, LazyMinHeap, ShardedSolutionCache
 from .probe_matrix import ProbeMatrix
 from .virtual_links import ExtendedLinkSpace
@@ -346,7 +358,11 @@ def construct_probe_matrix(
             for subproblem in subproblems:
                 solve_started = time.perf_counter()
                 sub_selected, sub_stats = _solve_subproblem(
-                    routing_matrix, subproblem, options, orbits
+                    routing_matrix.incidence,
+                    subproblem,
+                    options,
+                    orbits,
+                    links_on=routing_matrix.links_on,
                 )
                 selected.extend(sub_selected)
                 stats.merge(sub_stats)
@@ -400,56 +416,116 @@ def pmc_for_topology(
 # sharded / pooled dispatch
 # ---------------------------------------------------------------------------
 
-#: Per-worker solve context: ``(routing_matrix, options, coverage_counts)``.
-#: Installed once per worker process by the pool initializer so the routing
-#: matrix crosses the process boundary a single time, not once per shard.
-_SHARD_CONTEXT: Optional[Tuple["RoutingMatrix", PMCOptions, object]] = None
+#: Per-worker solve context: ``(incidence_index, options)``.  Installed once
+#: per worker process by the pool initializer -- for a numpy-backed parent
+#: through a ~100-byte :class:`~repro.core.incidence.IncidenceHandle` the
+#: worker attaches (zero-copy shared memory), otherwise by pickling the index
+#: itself.  Per-shard data (the subproblem and its coverage slice) rides in
+#: the task payload, so steady-state dispatch ships O(churned shards) bytes,
+#: never the matrix.
+_SHARD_CONTEXT: Optional[Tuple[IncidenceIndex, PMCOptions]] = None
 
 
-def _init_shard_context(routing_matrix, options, coverage_counts) -> None:
+def _init_shard_context(index_source, options) -> None:
     global _SHARD_CONTEXT
-    _SHARD_CONTEXT = (routing_matrix, options, coverage_counts)
+    if isinstance(index_source, IncidenceHandle):
+        index_source = IncidenceIndex.attach(index_source)
+    _SHARD_CONTEXT = (index_source, options)
 
 
-def _solve_shard_task(subproblem: Subproblem):
-    """Pool entry point: solve one shard against the worker's context."""
-    routing_matrix, options, coverage_counts = _SHARD_CONTEXT
-    return _solve_shard(routing_matrix, subproblem, options, coverage_counts)
+def _solve_shard_task(task):
+    """Pool entry point: solve one ``(subproblem, shard_counts)`` task."""
+    index, options = _SHARD_CONTEXT
+    subproblem, shard_counts = task
+    return _solve_shard(index, subproblem, options, shard_counts=shard_counts)
 
 
 @informational_wall("WorkerTelemetry.wall_seconds is informational; the kernel delta gates")
 def _solve_shard(
-    routing_matrix: "RoutingMatrix",
+    index: IncidenceIndex,
     subproblem: Subproblem,
     options: PMCOptions,
-    coverage_counts,
+    coverage_counts=None,
+    shard_counts=None,
 ):
     """Solve one shard and capture the kernel-counter delta it caused.
 
     The delta is read off the index's :class:`~repro.core.costmodel.KernelCounters`
     around the solve, so it is the same whether the solve ran inline (ticking
-    the parent's counters) or in a worker (ticking the pickled copy's) --
-    that equivalence is what keeps per-shard kernel gates invariant to
-    ``jobs``.  ``coverage_counts`` is precomputed by the dispatching parent
-    for the same reason: workers must not each re-derive (and re-tick) it.
+    the parent's counters) or in a worker (ticking its attached/pickled
+    copy's) -- that equivalence is what keeps per-shard kernel gates
+    invariant to ``jobs``.  Coverability input comes precomputed from the
+    dispatching parent for the same reason -- workers must not each re-derive
+    (and re-tick) it: inline callers hand the parent's full
+    ``coverage_counts`` vector, pooled tasks the O(shard)-sized
+    ``shard_counts`` slice that travelled in the task payload.
 
     Returns ``(selection, stats, telemetry)`` where the
     :class:`~repro.parallel.WorkerTelemetry` carries the kernel delta
     (deterministic) and the solve's own wall seconds (informational).
     """
-    counters = routing_matrix.incidence.counters
+    counters = index.counters
     before = counters.as_dict()
     started = time.perf_counter()
     selected, sub_stats = _solve_subproblem(
-        routing_matrix, subproblem, options, orbits=None, coverage_counts=coverage_counts
+        index,
+        subproblem,
+        options,
+        orbits=None,
+        coverage_counts=coverage_counts,
+        shard_counts=shard_counts,
     )
     wall = time.perf_counter() - started
     kernel_cost = counters.cost.delta_since(before)
     return selected, sub_stats, WorkerTelemetry(wall_seconds=wall, counters=kernel_cost)
 
 
+def _shard_counts(index: IncidenceIndex, subproblem: Subproblem, coverage_counts):
+    """The shard's slice of the coverage vector, in sorted-link (local) order.
+
+    This is the only piece of the parent's coverage state a shard solve ever
+    reads, so it is what travels in the task payload: O(shard links) integers
+    instead of the O(topology) vector -- which both keeps per-cycle dispatch
+    payload proportional to churn and keeps the persistent pool's worker
+    context mask-independent (the masked vector changes every delta; the
+    attached index does not).
+    """
+    return tuple(
+        int(coverage_counts[index.position(link)]) for link in sorted(subproblem.link_ids)
+    )
+
+
+def _options_context_key(options: PMCOptions) -> str:
+    """Compact digest of every option field a worker-side solve reads."""
+    return (
+        f"a{options.alpha}b{options.beta}z{int(options.skip_zero_gain)}"
+        f"l{int(options.use_lazy_update)}m{options.max_paths}"
+    )
+
+
+def _shard_dispatch_context(index: IncidenceIndex):
+    """``(initializer source, context id)`` for pooled shard dispatch.
+
+    Numpy-backed indexes export (once -- the share is cached on the index)
+    into shared memory and ship the handle; the python backend, or
+    ``REPRO_SHM=0``, ships the pickled index exactly as before the shm plane
+    existed.  The context id goes into the persistent-pool key: the share
+    generation (or the index uid) changes whenever the underlying index does,
+    so a warm pool can never serve a different topology's context.
+
+    Inside a multiprocessing child (a pooled experiment harness solving with
+    ``jobs > 1``) the pickle path is used unconditionally: fork children skip
+    atexit, so a worker-side segment would leak until the resource tracker
+    complains (see :func:`repro.parallel.in_main_process`).
+    """
+    if index.backend is Backend.NUMPY and shm_enabled() and in_main_process():
+        share = index.share()  # repro: allow[REP008] -- the index owns and caches the share; released via release_share()/the atexit sweep
+        return share.handle, f"shm:g{share.handle.generation}"
+    return index, f"pickle:inc{index.uid}"
+
+
 def _solve_many(
-    routing_matrix: "RoutingMatrix",
+    index: IncidenceIndex,
     subproblems: Sequence[Subproblem],
     options: PMCOptions,
     jobs: int,
@@ -460,30 +536,43 @@ def _solve_many(
     Either way the returned list is ordered like *subproblems* and every
     entry is ``(selection, stats, telemetry)`` -- byte-identical at any
     ``jobs`` setting (telemetry wall seconds aside), because workers run the
-    exact same :func:`_solve_subproblem` on a pickled copy of the same
-    inputs.  After a pooled run the workers' kernel deltas are folded back
-    into the parent's index counters, so the parent's kernel *totals* match
-    the inline path's too -- workers ticked their own pickled copies.
+    exact same :func:`_solve_subproblem` against the same incidence structure
+    (a zero-copy shared-memory view, or a pickled copy on the fallback path)
+    with the same per-shard coverage slice.  After a pooled run the workers'
+    kernel deltas are folded back into the parent's index counters, so the
+    parent's kernel *totals* match the inline path's too -- workers ticked
+    their own copies.
+
+    The pool itself persists across calls (same index, same options, same
+    ``jobs``): the context key below hands :func:`~repro.parallel.pool_map`
+    everything the initializer installs, so repeated controller/engine cycles
+    reuse warm workers and pay dispatch only for the task payloads.
     """
     global _SHARD_CONTEXT
     if jobs == 1 or len(subproblems) <= 1:
         return [
-            _solve_shard(routing_matrix, subproblem, options, coverage_counts)
+            _solve_shard(index, subproblem, options, coverage_counts=coverage_counts)
             for subproblem in subproblems
         ]
+    tasks = [
+        (subproblem, _shard_counts(index, subproblem, coverage_counts))
+        for subproblem in subproblems
+    ]
+    source, context_id = _shard_dispatch_context(index)
     try:
         results = pool_map(
             _solve_shard_task,
-            list(subproblems),
+            tasks,
             jobs=jobs,
             initializer=_init_shard_context,
-            initargs=(routing_matrix, options, coverage_counts),
+            initargs=(source, options),
+            context_key=f"pmc:{context_id}:{_options_context_key(options)}",
         )
     finally:
         _SHARD_CONTEXT = None
     merge_worker_telemetry(
         (telemetry for _, _, telemetry in results),
-        cost=routing_matrix.incidence.counters.cost,
+        cost=index.counters.cost,
     )
     return results
 
@@ -508,7 +597,7 @@ def _dispatch_subproblems(
     index = routing_matrix.incidence
     if coverage_counts is None:
         coverage_counts = index.coverage_counts()
-    results = _solve_many(routing_matrix, subproblems, options, jobs, coverage_counts)
+    results = _solve_many(index, subproblems, options, jobs, coverage_counts)
 
     selected: List[int] = []
     seen: Set[int] = set()
@@ -718,7 +807,7 @@ def construct_probe_matrix_masked(
 
         if to_solve:
             solved = _solve_many(
-                routing_matrix,
+                index,
                 [subproblems[i] for i in to_solve],
                 options,
                 options.resolved_jobs(),
@@ -802,7 +891,7 @@ def _masked_serial_capped(
             sub_stats.candidates_discarded = 0
         else:
             sub_selected, sub_stats = _solve_subproblem(
-                routing_matrix,
+                index,
                 subproblem,
                 options,
                 orbits=None,
@@ -833,12 +922,24 @@ def _masked_serial_capped(
 # ---------------------------------------------------------------------------
 
 def _solve_subproblem(
-    routing_matrix: "RoutingMatrix",
+    index: IncidenceIndex,
     subproblem: Subproblem,
     options: PMCOptions,
     orbits: Optional[PathOrbits],
     coverage_counts=None,
+    shard_counts=None,
+    links_on=None,
 ) -> Tuple[List[int], PMCStats]:
+    """Greedy-solve one subproblem against an incidence index.
+
+    Coverability comes from exactly one of three sources, all producing the
+    same judgement: ``shard_counts`` (the shard's precomputed slice, local-id
+    order -- what pooled tasks carry), ``coverage_counts`` (the full vector a
+    dispatching parent precomputed), or -- when neither is given -- the
+    index's own :meth:`~repro.core.incidence.IncidenceIndex.coverage_counts`.
+    ``links_on`` (``path row -> link id set``) is only consulted by the
+    symmetry batch, which never runs on the dispatch path.
+    """
     stats = PMCStats()
     link_ids = sorted(subproblem.link_ids)
     path_indices = list(subproblem.path_indices)
@@ -857,7 +958,6 @@ def _solve_subproblem(
     # sorted-id order, matching the physical numbering of ExtendedLinkSpace):
     # weights, coverage targets and the refinement partition are flat vectors
     # and every per-path query is a gather over the projected CSR row.
-    index = routing_matrix.incidence
     kernels = index.kernels
     num_local = len(link_ids)
     proj = index.projection(link_ids)
@@ -889,13 +989,26 @@ def _solve_subproblem(
     # runs pass the active-row counts explicitly so coverability is judged
     # against the surviving candidates only -- the same vector a from-scratch
     # rebuild on the post-delta topology would compute.
-    global_counts = coverage_counts if coverage_counts is not None else index.coverage_counts()
-    coverable_locals = [
-        local for local, link in enumerate(link_ids) if global_counts[index.position(link)]
-    ]
-    stats.uncoverable_links = tuple(
-        link for link in link_ids if not global_counts[index.position(link)]
-    )
+    if shard_counts is not None:
+        # Pooled dispatch: the shard's slice arrived in the task payload,
+        # indexed by local id (sorted-link order) -- value-identical to the
+        # global-vector lookups below, just O(shard) instead of O(topology).
+        coverable_locals = [
+            local for local in range(num_local) if shard_counts[local]
+        ]
+        stats.uncoverable_links = tuple(
+            link for local, link in enumerate(link_ids) if not shard_counts[local]
+        )
+    else:
+        global_counts = (
+            coverage_counts if coverage_counts is not None else index.coverage_counts()
+        )
+        coverable_locals = [
+            local for local, link in enumerate(link_ids) if global_counts[index.position(link)]
+        ]
+        stats.uncoverable_links = tuple(
+            link for link in link_ids if not global_counts[index.position(link)]
+        )
     under_covered = kernels.bool_zeros(num_local)
     under_count = 0
     if options.alpha > 0 and coverable_locals:
@@ -995,7 +1108,7 @@ def _solve_subproblem(
                 orbits,
                 path_index_set,
                 selected_set,
-                routing_matrix.links_on,
+                links_on,
                 marginal_gain,
                 apply_selection,
                 options,

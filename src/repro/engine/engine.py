@@ -38,9 +38,9 @@ import numpy as np
 
 from ..contracts import informational_fields, informational_wall
 from ..core.costmodel import CostModel
-from ..core.incidence import resolve_backend
+from ..core.incidence import resolve_backend, shm_telemetry
 from ..obs import Observability, WindowProfiler, tracing
-from ..parallel import resolve_jobs
+from ..parallel import pool_telemetry, resolve_jobs
 from ..simulation.rng import SeededStreams
 from .aggregator import StreamAggregator, WindowReport
 from .dynamics import DynamicFaultModel
@@ -403,6 +403,11 @@ class TelemetryEngine:
         registry.register_source(
             "scheduler_drains", self._scheduler.drain_telemetry, informational=True
         )
+        # Dispatch-plane visibility (informational: spawn/reuse balance and
+        # payload bytes vary with jobs, pool persistence and shm settings,
+        # never with the workload's deterministic outcome).
+        registry.register_source("dispatch_pool", pool_telemetry, informational=True)
+        registry.register_source("shm_plane", shm_telemetry, informational=True)
         self._h_detection = registry.histogram(
             "detection_latency_seconds",
             help="fault start -> first window whose counters show the losses",

@@ -251,10 +251,14 @@ def run_all(
         if spec_entries:
             from ..parallel import pool_map
 
+            # Spec payloads are self-contained plain data, so every run_all
+            # shares one persistent pool context: ``experiment all`` pays a
+            # single pool spawn however many suites it sweeps.
             outputs = pool_map(
                 _execute_spec_timed,
                 [entry for _, entry in spec_entries],
                 jobs=jobs,
+                context_key="experiments.run_all",
             )
             results = {name: output for (name, _), output in zip(spec_entries, outputs)}
 

@@ -224,6 +224,19 @@ class Controller:
             self._full_matrix = RoutingMatrix(self.topology, self.candidate_paths())
         return self._full_matrix
 
+    def close(self) -> None:
+        """Release dispatch-plane resources held by the cached routing matrix.
+
+        Pod-sharded dispatch may have exported the cached matrix's incidence
+        into a shared-memory segment (see
+        :meth:`~repro.core.incidence.IncidenceIndex.share`); retiring the
+        controller unlinks it.  Idempotent, and safe on controllers that
+        never dispatched -- nothing was shared, nothing is released.  The
+        process-exit sweep covers controllers nobody closes.
+        """
+        if self._full_matrix is not None:
+            self._full_matrix.incidence.release_share()
+
     # --------------------------------------------------------------- PMC step
     def compute_probe_matrix(self) -> PMCResult:
         """Run PMC against the watchdog's current health state (cold rebuild).

@@ -20,6 +20,16 @@ Both are no-ops (one attribute load + ``is None`` test) unless a
 serve advances via :func:`activated` -- the hot probe path pays nothing when
 tracing is off, preserving the 2M events/s serve gate.
 
+Some instrumentation sites are inherently machine- or ``jobs``-dependent:
+``pool.spawn`` only fires when a process pool is actually provisioned and
+``shm.export`` only when a shared-memory segment is created, neither of
+which happens at ``jobs=1``.  Those sites pass ``informational=True``:
+informational spans draw ids from a separate (negative) counter, never
+parent other spans, and are excluded from the deterministic JSONL export,
+so the byte-gateable span stream stays identical across ``REPRO_JOBS``
+while the spans remain visible in :meth:`Tracer.finished_spans` and the
+chrome trace.
+
 Exports: :meth:`Tracer.export_jsonl` (one sorted-key JSON object per span,
 the byte-gateable form) and :func:`to_chrome_trace` /
 :func:`spans_from_chrome_trace` (the ``chrome://tracing`` "trace event"
@@ -55,7 +65,11 @@ class Span:
     the enclosing span's id or ``None`` at the root -- both deterministic
     because spans are only ever created from the single-threaded sim loop.
     ``wall_seconds`` is informational (machine-dependent) and excluded from
-    the deterministic export.
+    the deterministic export.  ``informational`` marks whole spans whose
+    very existence depends on the machine or ``REPRO_JOBS`` (pool spawns,
+    shm exports): they carry *negative* ids from a separate counter so the
+    deterministic 0-based sequence is untouched, and :meth:`Tracer.export_jsonl`
+    drops them unless asked.
     """
 
     span_id: int
@@ -65,6 +79,7 @@ class Span:
     end: Optional[float] = None
     labels: Dict[str, object] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    informational: bool = False
 
     @property
     def duration(self) -> Optional[float]:
@@ -81,6 +96,8 @@ class Span:
         }
         if include_wall:
             payload["wall_seconds"] = self.wall_seconds
+        if self.informational:
+            payload["informational"] = True
         return payload
 
 
@@ -97,6 +114,7 @@ class Tracer:
         self._spans: List[Span] = []
         self._stack: List[Span] = []
         self._next_id = 0
+        self._next_info_id = 0
         self._drained = 0
 
     # ------------------------------------------------------------------ time
@@ -105,15 +123,24 @@ class Tracer:
 
     # ----------------------------------------------------------------- spans
     @contextmanager
-    def span(self, name: str, start: Optional[float] = None, **labels):
+    def span(
+        self,
+        name: str,
+        start: Optional[float] = None,
+        informational: bool = False,
+        **labels,
+    ):
         """Open a span for the duration of the ``with`` body.
 
         ``start`` backdates the span (the engine stamps a window span with
         the window's *open* time while creating it at close time); the end is
         always the clock's value on exit.  Yields the :class:`Span` so the
         body can attach labels it only learns along the way.
+        ``informational=True`` routes the span to the machine-dependent side
+        stream (negative id, never a parent, excluded from the deterministic
+        export).
         """
-        sp = self._open(name, start, labels)
+        sp = self._open(name, start, labels, informational)
         try:
             yield sp
         finally:
@@ -125,38 +152,58 @@ class Tracer:
         start: Optional[float] = None,
         end: Optional[float] = None,
         wall_seconds: float = 0.0,
+        informational: bool = False,
         **labels,
     ) -> Span:
         """Append an already-finished span (an instant event by default)."""
         now = self._now()
         sp = Span(
-            span_id=self._next_id,
+            span_id=self._take_id(informational),
             name=name,
             start=now if start is None else float(start),
             parent_id=self._stack[-1].span_id if self._stack else None,
             end=now if end is None else float(end),
             labels=dict(labels),
             wall_seconds=wall_seconds,
+            informational=informational,
         )
-        self._next_id += 1
         self._spans.append(sp)
         return sp
 
-    def _open(self, name: str, start: Optional[float], labels: Dict[str, object]) -> Span:
+    def _take_id(self, informational: bool) -> int:
+        # Informational spans burn ids from their own (negative) counter so
+        # their presence or absence cannot shift the deterministic sequence.
+        if informational:
+            self._next_info_id += 1
+            return -self._next_info_id
+        span_id = self._next_id
+        self._next_id += 1
+        return span_id
+
+    def _open(
+        self,
+        name: str,
+        start: Optional[float],
+        labels: Dict[str, object],
+        informational: bool = False,
+    ) -> Span:
         sp = Span(
-            span_id=self._next_id,
+            span_id=self._take_id(informational),
             name=name,
             start=self._now() if start is None else float(start),
             parent_id=self._stack[-1].span_id if self._stack else None,
             labels=dict(labels),
+            informational=informational,
         )
-        self._next_id += 1
         self._spans.append(sp)
-        self._stack.append(sp)
+        if not informational:
+            self._stack.append(sp)
         return sp
 
     def _close(self, sp: Span) -> None:
         sp.end = self._now()
+        if sp.informational:
+            return  # never on the stack, never a parent
         # Tolerate exception-unwound stacks: pop through to this span.
         while self._stack:
             top = self._stack.pop()
@@ -175,11 +222,17 @@ class Tracer:
         return fresh
 
     def export_jsonl(
-        self, spans: Optional[Iterable[Span]] = None, include_wall: bool = False
+        self,
+        spans: Optional[Iterable[Span]] = None,
+        include_wall: bool = False,
+        include_informational: bool = False,
     ) -> str:
         """One sorted-key JSON object per line; deterministic unless
-        ``include_wall`` adds the informational wall-clock field."""
+        ``include_wall`` adds the informational wall-clock field or
+        ``include_informational`` keeps the machine-dependent side stream."""
         chosen = self.finished_spans() if spans is None else list(spans)
+        if not include_informational:
+            chosen = [sp for sp in chosen if not sp.informational]
         return "".join(
             json.dumps(sp.to_dict(include_wall=include_wall), sort_keys=True) + "\n"
             for sp in chosen
@@ -200,12 +253,17 @@ def current_tracer() -> Optional[Tracer]:
     return contracts.active_tracer()
 
 
-def span(name: str, start: Optional[float] = None, **labels):
+def span(
+    name: str,
+    start: Optional[float] = None,
+    informational: bool = False,
+    **labels,
+):
     """Context manager: a span on the active tracer, or a no-op without one."""
     tracer = contracts.active_tracer()
     if tracer is None:
         return nullcontext()
-    return tracer.span(name, start=start, **labels)
+    return tracer.span(name, start=start, informational=informational, **labels)
 
 
 def record(
@@ -213,13 +271,21 @@ def record(
     start: Optional[float] = None,
     end: Optional[float] = None,
     wall_seconds: float = 0.0,
+    informational: bool = False,
     **labels,
 ) -> Optional[Span]:
     """A finished span on the active tracer, or ``None`` without one."""
     tracer = contracts.active_tracer()
     if tracer is None:
         return None
-    return tracer.record(name, start=start, end=end, wall_seconds=wall_seconds, **labels)
+    return tracer.record(
+        name,
+        start=start,
+        end=end,
+        wall_seconds=wall_seconds,
+        informational=informational,
+        **labels,
+    )
 
 
 @contextmanager
@@ -265,6 +331,8 @@ def to_chrome_trace(spans: Iterable[Span], include_wall: bool = False) -> Dict[s
         }
         if include_wall:
             args["wall_seconds"] = sp.wall_seconds
+        if sp.informational:
+            args["informational"] = True
         events.append(
             {
                 "name": sp.name,
@@ -297,6 +365,7 @@ def spans_from_chrome_trace(payload: Dict[str, object]) -> List[Span]:
                 end=end,
                 labels=dict(args.get("labels", {})),
                 wall_seconds=float(args.get("wall_seconds", 0.0)),
+                informational=bool(args.get("informational", False)),
             )
         )
     return sorted(spans, key=lambda sp: sp.span_id)

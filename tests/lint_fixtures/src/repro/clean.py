@@ -13,3 +13,34 @@ def timed_section():
 
 def pure_function(values):
     return sorted(values)
+
+
+def context_managed_share(index):
+    with index.share() as shared:
+        return shared.handle
+
+
+def explicitly_released_segment():
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name="fix2", create=True, size=8)
+    try:
+        return bytes(segment.buf[:1])
+    finally:
+        segment.close()
+        segment.unlink()
+
+
+def ownership_returned_segment():
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name="fix3", create=True, size=8)
+    return segment
+
+
+class AttributePairedShare:
+    def open(self, index):
+        self._share = index.share()
+
+    def close(self):
+        self._share.close()

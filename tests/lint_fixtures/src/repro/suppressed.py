@@ -32,3 +32,7 @@ def suppressed_pool(items):
 def suppressed_metrics(registry):
     registry.register_source("worker", lambda: {"folds": 2})
     registry.counter("folds").inc(1)  # repro: allow[REP006] -- fixture collision is intentional
+
+
+def suppressed_share(index):
+    return index.share().handle  # repro: allow[REP008] -- fixture hands lifecycle to the caller's owner

@@ -43,3 +43,14 @@ def rep003_pool_misuse(items):
 def rep006_double_booked(registry):
     registry.register_source("worker", lambda: {"folds": 2})
     registry.counter("folds").inc(1)  # REP006: same key pulled and pushed
+
+
+def rep008_unpaired_segment():
+    from multiprocessing import shared_memory
+
+    segment = shared_memory.SharedMemory(name="fix", create=True, size=8)  # REP008: never closed/unlinked
+    return segment.size
+
+
+def rep008_unpaired_share(index):
+    return index.share().handle  # REP008: share acquired, owner never released

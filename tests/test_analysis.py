@@ -59,6 +59,7 @@ class TestRulesFire:
         assert fired == {
             "REP000", "REP001", "REP002", "REP003",
             "REP004", "REP005", "REP006", "REP007",
+            "REP008",
         }
 
     def test_rep001_bare_rng_and_seed_arithmetic(self, report):
@@ -111,7 +112,15 @@ class TestRulesFire:
         # The TYPE_CHECKING-guarded engine import in the same file is sanctioned.
         assert "obs" in rep007[0].message
 
+    def test_rep008_unpaired_acquisitions(self, report):
+        rep008 = [f for f in report.findings if f.rule == "REP008"]
+        contexts = {f.context for f in rep008}
+        assert contexts == {"rep008_unpaired_segment", "rep008_unpaired_share"}
+
     def test_clean_file_has_no_findings(self, report):
+        # clean.py includes every sanctioned shared-memory lifecycle shape
+        # (context manager, explicit close/unlink, ownership return,
+        # attribute pairing), so REP008 must stay quiet there too.
         assert not any(f.path.endswith("clean.py") for f in report.findings)
 
 
@@ -121,9 +130,10 @@ class TestSuppressions:
         assert report.findings == []
         # ... but the raw findings were produced and then suppressed.
         suppressed_rules = {f.rule for f in report.all_findings}
-        assert {"REP001", "REP002", "REP003", "REP004", "REP005", "REP006", "REP007"} <= (
-            suppressed_rules
-        )
+        assert {
+            "REP001", "REP002", "REP003", "REP004",
+            "REP005", "REP006", "REP007", "REP008",
+        } <= suppressed_rules
 
     def test_reasonless_suppression_fails_and_does_not_suppress(self):
         report = lint_fixtures("src/repro/malformed.py")
